@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments figures examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run xxx .
+
+experiments:
+	$(GO) run ./cmd/bmxbench
+
+figures:
+	$(GO) run ./cmd/bmxtrace
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/webgraph
+	$(GO) run ./examples/persistdb
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/cadtool
+
+cover:
+	$(GO) test ./internal/... . -coverpkg=./internal/...,. -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,172 @@
+// Command bmxd drives a simulated BMX cluster through a configurable
+// workload — allocation, sharing, mutation, churn — with periodic bunch
+// collections, scion cleaning and group collections, then reports the
+// system's accounting: message counts by class and kind, piggyback volume,
+// token activity attributed to the application versus the collector, pause
+// times and reclamation totals.
+//
+// Example:
+//
+//	bmxd -nodes 4 -objects 200 -rounds 20 -workload web -churn 0.2 -loss 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bmx"
+	"bmx/internal/trace"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 3, "cluster size")
+		objects  = flag.Int("objects", 100, "objects in the workload graph")
+		rounds   = flag.Int("rounds", 10, "mutate/collect rounds")
+		workload = flag.String("workload", "list", "graph shape: list, tree, web or oo7")
+		protocol = flag.String("protocol", "entry", "consistency protocol: entry or strict")
+		grain    = flag.String("grain", "object", "token granularity: object or segment")
+		churn    = flag.Float64("churn", 0.2, "fraction of links cut per churn step")
+		loss     = flag.Float64("loss", 0, "background message loss rate")
+		gcEvery  = flag.Int("gc-every", 2, "run BGCs every N rounds")
+		ggcEvery = flag.Int("ggc-every", 5, "run the group collector every N rounds")
+		reclaim  = flag.Bool("reclaim", true, "run the from-space reuse protocol after GCs")
+		seed     = flag.Int64("seed", 1, "workload and loss seed")
+		verbose  = flag.Bool("v", false, "print per-round progress")
+	)
+	flag.Parse()
+
+	proto := bmx.ProtocolEntry
+	switch *protocol {
+	case "entry":
+	case "strict":
+		proto = bmx.ProtocolStrict
+	default:
+		fmt.Fprintf(os.Stderr, "bmxd: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	coarse := false
+	switch *grain {
+	case "object":
+	case "segment":
+		coarse = true
+	default:
+		fmt.Fprintf(os.Stderr, "bmxd: unknown grain %q\n", *grain)
+		os.Exit(2)
+	}
+	cl := bmx.New(bmx.Config{
+		Nodes: *nodes, SegWords: 512, Seed: *seed, LossRate: *loss,
+		SendLatency: 1, CallLatency: 1,
+		Consistency: proto, SegmentGrainTokens: coarse,
+	})
+	n0 := cl.Node(0)
+	b := n0.NewBunch()
+
+	var g trace.Graph
+	var err error
+	switch *workload {
+	case "list":
+		g, err = trace.BuildList(n0, b, *objects)
+	case "tree":
+		depth := 1
+		for (1<<(depth+1))-1 < *objects {
+			depth++
+		}
+		g, err = trace.BuildTree(n0, b, depth)
+	case "web":
+		g, err = trace.BuildWeb(n0, b, trace.WebConfig{
+			Objects: *objects, OutDegree: 3, Seed: *seed, DeadFrac: 0,
+		})
+	case "oo7":
+		cfg := trace.DefaultOO7()
+		cfg.Seed = *seed
+		for cfg.TotalObjects() < *objects {
+			cfg.Modules++
+		}
+		var db *trace.OO7
+		db, err = trace.BuildOO7(n0, b, cfg)
+		if err == nil {
+			g = trace.Graph{Root: db.Root, Objects: db.Objects}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "bmxd: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmxd:", err)
+		os.Exit(1)
+	}
+
+	var others []*bmx.Node
+	for i := 1; i < *nodes; i++ {
+		others = append(others, cl.Node(i))
+	}
+	if err := trace.Share(g.Objects, others...); err != nil {
+		fmt.Fprintln(os.Stderr, "bmxd:", err)
+		os.Exit(1)
+	}
+
+	totalDead := 0
+	for r := 1; r <= *rounds; r++ {
+		// Mutations from a rotating node.
+		mutator := cl.Node(r % *nodes)
+		if err := trace.MutateValues(mutator, g, 10, *seed+int64(r)); err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+		if _, err := trace.Churn(n0, g, *churn/float64(*rounds), *seed+int64(r)); err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+		if *gcEvery > 0 && r%*gcEvery == 0 {
+			for i := 0; i < *nodes; i++ {
+				st := cl.Node(i).CollectBunch(b)
+				totalDead += st.Dead
+				if *verbose {
+					fmt.Printf("round %d: BGC at N%d: live %d, dead %d, copied %d, pause %d ticks\n",
+						r, i+1, st.LiveStrong+st.LiveWeak, st.Dead, st.Copied,
+						st.PauseRootTicks+st.PauseFlipTicks)
+				}
+			}
+			if *reclaim {
+				cl.Node(0).ReclaimFromSpace(b)
+			}
+		}
+		if *ggcEvery > 0 && r%*ggcEvery == 0 {
+			st := cl.Node(0).CollectGroup(nil)
+			totalDead += st.Dead
+			if *verbose {
+				fmt.Printf("round %d: GGC at N1: %d bunches, dead %d\n", r, st.Bunches, st.Dead)
+			}
+		}
+		cl.Run(0)
+	}
+
+	st := cl.Stats()
+	fmt.Printf("workload: %s, %d objects, %d nodes, %d rounds, loss %.0f%%, protocol %s, grain %s\n",
+		*workload, len(g.Objects), *nodes, *rounds, *loss*100, *protocol, *grain)
+	fmt.Printf("objects reclaimed locally (sum over replicas): %d\n", totalDead)
+	fmt.Printf("present at N1 at end: %d / %d\n", trace.CountPresent(n0, g), len(g.Objects))
+	fmt.Println()
+	fmt.Println("-- the paper's independence claims, measured --")
+	fmt.Printf("token acquires by the application : %d\n",
+		st.Get("dsm.acquire.r.app")+st.Get("dsm.acquire.w.app"))
+	fmt.Printf("token acquires by the collector   : %d   (must be 0)\n",
+		st.Get("dsm.acquire.r.gc")+st.Get("dsm.acquire.w.gc"))
+	fmt.Printf("invalidations caused by collector : %d   (must be 0)\n",
+		st.Get("dsm.invalidation.gc"))
+	fmt.Printf("app messages                      : %d\n", st.Get("msg.sent.app"))
+	fmt.Printf("GC messages (tables etc.)         : %d\n", st.Get("msg.sent.gc"))
+	fmt.Printf("GC bytes piggybacked on app msgs  : %d\n", st.Get("bytes.piggyback"))
+	fmt.Printf("background messages lost          : %d\n", st.Get("msg.lost"))
+	fmt.Println()
+	fmt.Println("-- full counters --")
+	fmt.Print(st.String())
+
+	if st.Get("dsm.acquire.r.gc")+st.Get("dsm.acquire.w.gc") != 0 ||
+		st.Get("dsm.invalidation.gc") != 0 {
+		fmt.Fprintln(os.Stderr, "bmxd: COLLECTOR INTERFERED WITH THE CONSISTENCY PROTOCOL")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,267 @@
+// Command bmxtrace builds the configurations of the paper's four figures
+// through the real protocol stack and prints the resulting system state —
+// token letters (r/w/i, with o marking the owner as the figures' thicker
+// boxes), stub and scion tables, ownerPtrs — then steps through the
+// collection events the figure or its caption describes.
+//
+// Usage:
+//
+//	bmxtrace -fig 1   # Figure 1: bunches, SSPs, intra-bunch forwarding
+//	bmxtrace -fig 2   # Figure 2: the BGC at N2 copies only owned objects
+//	bmxtrace -fig 3   # Figure 3: write-token acquire cases (a)-(d)
+//	bmxtrace -fig 4   # Figure 4: the §6.2 deletion chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bmx"
+	"bmx/internal/addr"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (1-4); 0 runs all")
+	flag.Parse()
+	figs := []func(){figure1, figure2, figure3, figure4}
+	switch {
+	case *fig == 0:
+		for i, f := range figs {
+			fmt.Printf("════════ Figure %d ════════\n", i+1)
+			f()
+			fmt.Println()
+		}
+	case *fig >= 1 && *fig <= 4:
+		figs[*fig-1]()
+	default:
+		fmt.Fprintln(os.Stderr, "bmxtrace: -fig must be 0..4")
+		os.Exit(2)
+	}
+}
+
+// dump prints every named object's state at every node, and the SSP tables.
+func dump(cl *bmx.Cluster, names map[string]bmx.Ref, bunches map[string]bmx.BunchID) {
+	var objNames []string
+	byOID := make(map[bmx.OID]string)
+	for n, r := range names {
+		objNames = append(objNames, n)
+		byOID[r.OID] = n
+	}
+	label := func(o bmx.OID) string {
+		if n, ok := byOID[o]; ok {
+			return n
+		}
+		return o.String()
+	}
+	sortStrings(objNames)
+	var bNames []string
+	for n := range bunches {
+		bNames = append(bNames, n)
+	}
+	sortStrings(bNames)
+
+	fmt.Printf("%-6s", "")
+	for i := 0; i < cl.Nodes(); i++ {
+		fmt.Printf("  %-8s", addr.NodeID(i))
+	}
+	fmt.Println()
+	for _, on := range objNames {
+		o := names[on]
+		fmt.Printf("%-6s", on)
+		for i := 0; i < cl.Nodes(); i++ {
+			nd := cl.Node(i)
+			letter := "-"
+			if _, present := nd.Collector().Heap().Canonical(o.OID); present {
+				letter = nd.Mode(o).String()
+				if nd.IsOwner(o) {
+					letter += "/o"
+				}
+			}
+			fmt.Printf("  %-8s", letter)
+		}
+		fmt.Println()
+	}
+	for _, bn := range bNames {
+		b := bunches[bn]
+		for i := 0; i < cl.Nodes(); i++ {
+			tab := cl.Node(i).Collector().Replica(b).Table
+			var parts []string
+			for _, s := range tab.InterStubList() {
+				parts = append(parts, fmt.Sprintf("stub(%s->%s, scion at %v)",
+					label(s.SrcOID), label(s.TargetOID), s.ScionNode))
+			}
+			for _, s := range tab.InterScionList() {
+				parts = append(parts, fmt.Sprintf("scion(%s<-%s at %v)",
+					label(s.TargetOID), label(s.SrcOID), s.SrcNode))
+			}
+			for _, s := range tab.IntraStubList() {
+				parts = append(parts, fmt.Sprintf("intra-stub(%s->old owner %v)", label(s.OID), s.OldOwner))
+			}
+			for _, s := range tab.IntraScionList() {
+				parts = append(parts, fmt.Sprintf("intra-scion(%s<-new owner %v)", label(s.OID), s.NewOwner))
+			}
+			if len(parts) > 0 {
+				fmt.Printf("  %s at %v: %s\n", bn, addr.NodeID(i), strings.Join(parts, ", "))
+			}
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmxtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func figure1() {
+	fmt.Println("B1 mapped on N1 and N2; B2 mapped only on N3. The reference")
+	fmt.Println("O3->O5 is created at N2; then O3's write token moves to N1.")
+	cl := bmx.New(bmx.Config{Nodes: 3, SegWords: 64, Seed: 1})
+	n1, n2, n3 := cl.Node(0), cl.Node(1), cl.Node(2)
+	b1 := n1.NewBunch()
+	b2 := n3.NewBunch()
+	o1 := n1.MustAlloc(b1, 2)
+	o3 := n1.MustAlloc(b1, 2)
+	o5 := n3.MustAlloc(b2, 1)
+	n1.AddRoot(o1)
+	n3.AddRoot(o5)
+	must(n1.WriteRef(o1, 0, o3))
+	must(n2.MapBunch(b1))
+	must(n2.AcquireWrite(o3))
+	must(n2.AcquireRead(o5))
+	must(n2.WriteRef(o3, 0, o5))
+	must(n1.AcquireWrite(o3))
+	dump(cl,
+		map[string]bmx.Ref{"O1": o1, "O3": o3, "O5": o5},
+		map[string]bmx.BunchID{"B1": b1, "B2": b2})
+	fmt.Println("Only ONE inter-bunch stub exists (at N2) although O3 is cached")
+	fmt.Println("on two nodes; the intra-bunch SSP (stub at N1, scion at N2)")
+	fmt.Println("forwards O3's liveness to the stub at the old owner.")
+}
+
+func figure2() {
+	fmt.Println("B1 on N1 and N2 with O1->O2->O3; N1 owns O1 and O3, N2 owns O2.")
+	cl := bmx.New(bmx.Config{Nodes: 2, SegWords: 64, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b := n1.NewBunch()
+	o1 := n1.MustAlloc(b, 2)
+	o2 := n1.MustAlloc(b, 2)
+	o3 := n1.MustAlloc(b, 2)
+	n1.AddRoot(o1)
+	must(n1.WriteRef(o1, 0, o2))
+	must(n1.WriteRef(o2, 0, o3))
+	must(n2.MapBunch(b))
+	n2.AddRoot(o1)
+	must(n2.AcquireWrite(o2))
+	heap2 := n2.Collector().Heap()
+	oldO2, _ := heap2.Canonical(o2.OID)
+	fmt.Println("before BGC at N2:")
+	dump(cl, map[string]bmx.Ref{"O1": o1, "O2": o2, "O3": o3}, map[string]bmx.BunchID{"B1": b})
+
+	st := n2.CollectBunch(b)
+	newO2, _ := heap2.Canonical(o2.OID)
+	fmt.Printf("\nBGC at N2: copied %d object(s) (only locally-owned O2), scanned %d\n", st.Copied, st.Scanned)
+	fmt.Printf("O2 at N2 moved %v -> %v; forwarding pointer left behind: %v\n",
+		oldO2, newO2, heap2.Fwd(oldO2))
+	n1O2, _ := n1.Collector().Heap().Canonical(o2.OID)
+	fmt.Printf("N1 not yet informed: O2 at N1 still %v\n", n1O2)
+	must(n1.AcquireRead(o2))
+	n1O2, _ = n1.Collector().Heap().Canonical(o2.OID)
+	fmt.Printf("after N1 synchronizes (token acquire): O2 at N1 = %v (piggybacked, no GC message)\n", n1O2)
+}
+
+func figure3() {
+	fmt.Println("Bunch B on N1 and N2 with O1->O2, both owned at N1.")
+	fmt.Println("Write-token acquire cases after collections:")
+	for _, c := range []struct {
+		name  string
+		setup func(cl *bmx.Cluster, b bmx.BunchID, o1, o2 bmx.Ref)
+	}{
+		{"(a) nothing copied anywhere", func(cl *bmx.Cluster, b bmx.BunchID, o1, o2 bmx.Ref) {}},
+		{"(b)+(c) O1 and O2 copied at the granter N1", func(cl *bmx.Cluster, b bmx.BunchID, o1, o2 bmx.Ref) {
+			cl.Node(0).CollectBunch(b)
+		}},
+		{"(d) O2 copied at the acquirer N2", func(cl *bmx.Cluster, b bmx.BunchID, o1, o2 bmx.Ref) {
+			must(cl.Node(1).AcquireWrite(o2))
+			cl.Node(1).CollectBunch(b)
+		}},
+	} {
+		cl := bmx.New(bmx.Config{Nodes: 2, SegWords: 64, Seed: 1})
+		n1, n2 := cl.Node(0), cl.Node(1)
+		b := n1.NewBunch()
+		o1 := n1.MustAlloc(b, 2)
+		o2 := n1.MustAlloc(b, 2)
+		n1.AddRoot(o1)
+		must(n1.WriteRef(o1, 0, o2))
+		must(n2.MapBunch(b))
+		n2.AddRoot(o1)
+		must(n2.AcquireRead(o1))
+		must(n2.AcquireRead(o2))
+		c.setup(cl, b, o1, o2)
+
+		loc0 := cl.Stats().Get("core.loc.applied")
+		must(n2.AcquireWrite(o1))
+		locs := cl.Stats().Get("core.loc.applied") - loc0
+		a1, _ := n2.Collector().Heap().Canonical(o1.OID)
+		a2, _ := n2.Collector().Heap().Canonical(o2.OID)
+		r, err := n2.ReadRef(o1, 0)
+		must(err)
+		fmt.Printf("  %s:\n    acquire applied %d location update(s); at N2: O1=%v O2=%v; O1.0 resolves to %v\n",
+			c.name, locs, a1, a2, r)
+	}
+	fmt.Println("In every case the acquire completes only after all addresses are valid (invariant 1).")
+}
+
+func figure4() {
+	fmt.Println("O1 cached on N1, N2 and N3; owner N2; N3 holds an inter-bunch")
+	fmt.Println("stub for O1 and is kept alive only by the intra-bunch scion.")
+	cl := bmx.New(bmx.Config{Nodes: 3, SegWords: 64, Seed: 1})
+	n1, n2, n3 := cl.Node(0), cl.Node(1), cl.Node(2)
+	bOther := n1.NewBunch()
+	other := n1.MustAlloc(bOther, 1)
+	n1.AddRoot(other)
+	b := n3.NewBunch()
+	o1 := n3.MustAlloc(b, 1)
+	must(n3.AcquireRead(other))
+	must(n3.WriteRef(o1, 0, other))
+	must(n2.MapBunch(b))
+	must(n2.AcquireWrite(o1))
+	must(n1.MapBunch(b))
+	must(n1.AcquireRead(o1))
+	n1.AddRoot(o1)
+	names := map[string]bmx.Ref{"O1": o1}
+	bs := map[string]bmx.BunchID{"B": b}
+	fmt.Println("\ninitial state:")
+	dump(cl, names, bs)
+
+	step := func(msg string, f func()) {
+		fmt.Printf("\n%s\n", msg)
+		f()
+		cl.Run(0)
+		dump(cl, names, bs)
+	}
+	step("BGC at N3: exiting ownerPtr N3->N2 omitted (O1 weak there); O1 survives via intra-scion", func() {
+		n3.CollectBunch(b)
+	})
+	step("reference deleted from N1's root; BGC at N1 reclaims O1 there", func() {
+		n1.RemoveRoot(o1)
+		n1.CollectBunch(b)
+	})
+	step("BGC at N2: last entering ownerPtr gone, O1 reclaimed, intra-stub dropped", func() {
+		n2.CollectBunch(b)
+	})
+	step("cleaner deleted N3's intra-scion; BGC at N3 reclaims the last replica", func() {
+		n3.CollectBunch(b)
+	})
+}

@@ -1,0 +1,67 @@
+// Quickstart: two nodes share an object graph through entry-consistency
+// tokens; the bunch garbage collector reclaims unreachable objects on each
+// node independently without ever acquiring a token.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bmx"
+)
+
+func main() {
+	cl := bmx.New(bmx.Config{Nodes: 2})
+	n1, n2 := cl.Node(0), cl.Node(1)
+
+	// Objects live in bunches: groups of segments in the 64-bit single
+	// address space, the unit of independent collection.
+	b := n1.NewBunch()
+
+	// Allocate a two-field record and a payload object at N1. The
+	// allocating node owns a fresh object and holds its write token.
+	record := n1.MustAlloc(b, 2)
+	payload := n1.MustAlloc(b, 1)
+	n1.AddRoot(record) // a mutator stack reference
+
+	check(n1.WriteWord(payload, 0, 42))
+	check(n1.WriteRef(record, 0, payload)) // every write passes the write barrier
+
+	// N2 reads the record: entry consistency requires acquiring a token
+	// first; the grant ships a consistent copy plus the current addresses
+	// of everything the record references (invariant 1 of the paper).
+	check(n2.AcquireRead(record))
+	got, err := n2.ReadRef(record, 0)
+	check(err)
+	check(n2.AcquireRead(got))
+	v, err := n2.ReadWord(got, 0)
+	check(err)
+	fmt.Printf("N2 reads record.payload = %d\n", v)
+
+	// Drop the payload reference: it becomes garbage.
+	check(n1.AcquireWrite(record))
+	check(n1.WriteRef(record, 0, bmx.Nil))
+
+	// Each node collects its replica independently. The collector copies
+	// only locally-owned live objects, merely scans the rest, and never
+	// touches a token.
+	st1 := n1.CollectBunch(b)
+	st2 := n2.CollectBunch(b)
+	cl.Run(0) // deliver the background reachability tables
+	st2 = n2.CollectBunch(b)
+
+	fmt.Printf("BGC at N1: %d live, %d dead, %d copied\n", st1.LiveStrong, st1.Dead, st1.Copied)
+	fmt.Printf("BGC at N2: %d live, %d dead\n", st2.LiveStrong, st2.Dead)
+
+	stats := cl.Stats()
+	fmt.Printf("token acquires by the collector: %d (the paper's central claim)\n",
+		stats.Get("dsm.acquire.r.gc")+stats.Get("dsm.acquire.w.gc"))
+	fmt.Printf("GC bytes piggybacked on consistency messages: %d\n",
+		stats.Get("bytes.piggyback"))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

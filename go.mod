@@ -1,0 +1,3 @@
+module bmx
+
+go 1.22

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+
+	"bmx/internal/addr"
+)
+
+// CheckInvariants audits the cluster-wide protocol and GC invariants
+// (DESIGN.md §7) and returns every violation found. It is a debugging and
+// testing facility: the checks walk internal state directly and assume the
+// cluster is quiescent (no operation in flight).
+//
+// Checked invariants:
+//
+//   - token conservation: every known object has at most one owner and at
+//     most one write-mode holder; a writer excludes readers.
+//   - SSP pairing: every inter-bunch stub's scion node actually holds the
+//     matching scion (modulo in-flight scion-messages, which a quiescent
+//     cluster has none of); every intra-bunch scion's new owner holds the
+//     matching stub (a scion without a stub would be an unremovable root)
+//     unless the holder already reclaimed the object.
+//   - entering/ownerPtr symmetry: a mutator-rooted replica's ownerPtr
+//     target either has an entering entry for the replica holder or no
+//     longer knows the object (weakly live replicas are exempt: §6.2
+//     deliberately omits their exiting ownerPtrs).
+//   - heap sanity: every canonical address resolves to a header carrying
+//     the object's identity.
+func (cl *Cluster) CheckInvariants() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// Collect per-object global views.
+	type view struct {
+		owners  []addr.NodeID
+		writers []addr.NodeID
+		readers []addr.NodeID
+	}
+	views := make(map[addr.OID]*view)
+	for _, n := range cl.nodes {
+		for _, b := range cl.dir.Bunches() {
+			for _, o := range n.dsm.ObjectsInBunch(b) {
+				v := views[o]
+				if v == nil {
+					v = &view{}
+					views[o] = v
+				}
+				if n.dsm.IsOwner(o) {
+					v.owners = append(v.owners, n.id)
+				}
+				switch n.dsm.ModeOf(o) {
+				case 2: // ModeWrite
+					v.writers = append(v.writers, n.id)
+				case 1: // ModeRead
+					v.readers = append(v.readers, n.id)
+				}
+			}
+		}
+	}
+	for o, v := range views {
+		if len(v.owners) > 1 {
+			report("token: %v has %d owners: %v", o, len(v.owners), v.owners)
+		}
+		if len(v.writers) > 1 {
+			report("token: %v has %d write tokens: %v", o, len(v.writers), v.writers)
+		}
+		if len(v.writers) == 1 && len(v.readers) > 0 {
+			report("token: %v has writer %v and readers %v", o, v.writers[0], v.readers)
+		}
+	}
+
+	for _, n := range cl.nodes {
+		heap := n.col.Heap()
+		// Heap sanity.
+		for _, o := range heap.KnownObjects() {
+			a, _ := heap.Canonical(o)
+			r := heap.Resolve(a)
+			if !heap.Mapped(r) {
+				report("heap: %v canonical %v resolves to unmapped %v at %v", o, a, r, n.id)
+				continue
+			}
+			if !heap.IsObjectAt(r) {
+				report("heap: %v canonical %v resolves to non-object %v at %v", o, a, r, n.id)
+				continue
+			}
+			if got := heap.ObjOID(r); got != o {
+				report("heap: %v canonical resolves to header of %v at %v", o, got, n.id)
+			}
+		}
+		// SSP pairing.
+		for _, b := range n.col.MappedBunches() {
+			t := n.col.Replica(b).Table
+			for _, s := range t.InterStubList() {
+				host := cl.nodes[int(s.ScionNode)]
+				found := false
+				for _, sc := range host.col.Replica(s.TargetBunch).Table.InterScionList() {
+					if sc.TargetOID == s.TargetOID && sc.SrcOID == s.SrcOID && sc.SrcNode == n.id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					report("ssp: stub %v at %v has no scion at %v", s, n.id, s.ScionNode)
+				}
+			}
+			// Intra-bunch scions must have their matching stub at the new
+			// owner (a scion without a live stub would be an unremovable
+			// root). The reverse — a stub without a scion — is harmless
+			// residue of the ownership-revisit collapse and is retired
+			// when the object dies at the stub holder.
+			for _, sc := range t.IntraScionList() {
+				holder := cl.nodes[int(sc.NewOwner)]
+				if !holder.dsm.Knows(sc.OID) {
+					continue // holder reclaimed; its next table retires this scion
+				}
+				found := false
+				for _, st2 := range holder.col.Replica(b).Table.IntraStubList() {
+					if st2.OID == sc.OID && st2.OldOwner == n.id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					report("ssp: intra scion %v at %v has no stub at %v", sc, n.id, sc.NewOwner)
+				}
+			}
+		}
+		// Entering/ownerPtr symmetry: a MUTATOR-ROOTED non-owned replica's
+		// route target must remember us — the strongest liveness a replica
+		// can have locally must pin it at its owner. Weakly live replicas
+		// legitimately lack entries (§6.2 omits their exiting ownerPtrs;
+		// their protection flows through the intra-bunch SSP chain).
+		for _, b := range n.col.MappedBunches() {
+			for o, target := range n.dsm.NonOwnedLive(b) {
+				if !n.col.IsRoot(o) {
+					continue
+				}
+				if _, hasReplica := heap.Canonical(o); !hasReplica {
+					// Routing bookkeeping without a replica needs no
+					// entering entry (it appears in no exiting list).
+					continue
+				}
+				if int(target) >= len(cl.nodes) {
+					report("route: %v at %v points at invalid node %v", o, n.id, target)
+					continue
+				}
+				peer := cl.nodes[int(target)]
+				if !peer.dsm.Knows(o) {
+					continue // peer reclaimed; self-heal retracts the route
+				}
+				ok := false
+				for _, e := range peer.dsm.EnteringOf(o) {
+					if e == n.id {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					report("route: %v at %v points at %v, which has no entering entry for it",
+						o, n.id, target)
+				}
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,380 @@
+// Package cluster assembles the BMX platform: N simulated nodes, each with a
+// heap (mapped segment replicas), an entry-consistency DSM engine, and a
+// collector (BGC + scion cleaner + GGC), wired over the simulated network.
+// It exposes the mutator interface of §2: allocate objects in bunches,
+// acquire/release per-object tokens, read and write fields (every write
+// passes the write barrier of §3.2), map bunches on additional nodes, and
+// drive collections.
+//
+// All public operations are serialized under one cluster lock; message
+// handlers execute inside the operation that triggered them (synchronous
+// calls) or inside Step/Run (background traffic), so behaviour is
+// deterministic for a given seed.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"bmx/internal/addr"
+	"bmx/internal/core"
+	"bmx/internal/dsm"
+	"bmx/internal/mem"
+	"bmx/internal/rvm"
+	"bmx/internal/simnet"
+	"bmx/internal/store"
+)
+
+// Config parametrizes a simulated cluster.
+type Config struct {
+	Nodes       int
+	SegWords    int     // segment size in words (constant, §2.1); default 256
+	Seed        int64   // RNG seed (loss injection)
+	LossRate    float64 // drop probability for background GC messages
+	SendLatency uint64  // simulated ticks per background delivery
+	CallLatency uint64  // simulated ticks per synchronous leg
+	Costs       core.Costs
+	WithDisk    bool // give each node a simulated disk + RVM log
+	// Consistency selects the DSM protocol variant (the paper's entry
+	// consistency by default; see dsm.Protocol). The collector is
+	// identical under every variant.
+	Consistency dsm.Protocol
+	// SegmentGrainTokens switches the consistency granularity from one
+	// token per object to one token per (allocation) segment: acquiring
+	// any object acquires its whole segment's population, emulating
+	// page-grain DSM false sharing (§10's granularity question).
+	SegmentGrainTokens bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.SegWords == 0 {
+		c.SegWords = 256
+	}
+	if c.Costs == (core.Costs{}) {
+		c.Costs = core.DefaultCosts()
+	}
+	return c
+}
+
+// KindMapBunch fetches the segment images of a bunch from a node already
+// holding a replica (application-level operation).
+const KindMapBunch = "cl.mapBunch"
+
+type mapBunchReq struct {
+	Bunch addr.BunchID
+	// Gen is the mapper's next table generation for the bunch; it stamps
+	// the entering-ownerPtr entries the serving node records for the
+	// adopted replica.
+	Gen uint64
+}
+
+type mapBunchReply struct {
+	Images []mem.SegImage
+}
+
+// Cluster is a simulated BMX deployment.
+type Cluster struct {
+	mu    sync.Mutex
+	cfg   Config
+	net   *simnet.Network
+	dir   *core.Directory
+	nodes []*Node
+}
+
+// Node is one site of the cluster: its heap, protocol engine, collector and
+// (optionally) its disk.
+type Node struct {
+	cl  *Cluster
+	id  addr.NodeID
+	col *core.Collector
+	dsm *dsm.Node
+
+	disk *store.Disk
+	log  *rvm.Log
+	// openTx batches mutations between Sync calls when persistence is on.
+	openTx *rvm.Tx
+}
+
+// New builds a cluster.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	cl := &Cluster{
+		cfg: cfg,
+		net: simnet.New(simnet.Options{
+			Seed:        cfg.Seed,
+			LossRate:    cfg.LossRate,
+			SendLatency: cfg.SendLatency,
+			CallLatency: cfg.CallLatency,
+		}),
+	}
+	cl.dir = core.NewDirectory(mem.NewAllocator(cfg.SegWords))
+	for i := 0; i < cfg.Nodes; i++ {
+		id := addr.NodeID(i)
+		heap := mem.NewHeap(cl.dir.Allocator())
+		col := core.NewCollector(id, heap, cl.dir, cl.net, cfg.Costs)
+		d := dsm.NewNode(id, cl.net, col, cfg.Nodes)
+		d.SetProtocol(cfg.Consistency)
+		col.SetDSM(d)
+		n := &Node{cl: cl, id: id, col: col, dsm: d}
+		if cfg.WithDisk {
+			n.disk = store.NewDisk()
+			n.log = rvm.NewLog(n.disk, "rvm-log")
+		}
+		cl.nodes = append(cl.nodes, n)
+		cl.net.Register(id, n.handleAsync, n.handleCall)
+	}
+	return cl
+}
+
+// Node returns node i.
+func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
+
+// Nodes returns the cluster size.
+func (cl *Cluster) Nodes() int { return len(cl.nodes) }
+
+// Stats returns the shared counter registry.
+func (cl *Cluster) Stats() *simnet.Stats { return cl.net.Stats() }
+
+// Clock returns the simulated clock.
+func (cl *Cluster) Clock() *simnet.Clock { return cl.net.Clock() }
+
+// Directory exposes the cluster metadata service (read-mostly; used by
+// tools and experiments).
+func (cl *Cluster) Directory() *core.Directory { return cl.dir }
+
+// SetLossRate changes the background-message drop probability.
+func (cl *Cluster) SetLossRate(p float64) { cl.net.SetLossRate(p) }
+
+// Step delivers one pending background message; Run drains them all.
+func (cl *Cluster) Step() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.net.Step()
+}
+
+// Run delivers pending background messages until none remain (limit <= 0)
+// or limit deliveries were made, returning the count.
+func (cl *Cluster) Run(limit int) int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.net.Run(limit)
+}
+
+// Pending reports undelivered background messages.
+func (cl *Cluster) Pending() int { return cl.net.Pending() }
+
+// ---- message routing --------------------------------------------------------
+
+func (n *Node) handleAsync(m simnet.Msg) {
+	switch {
+	case strings.HasPrefix(m.Kind, "dsm."):
+		n.dsm.HandleAsync(m)
+	case strings.HasPrefix(m.Kind, "gc."):
+		n.col.HandleAsync(m)
+	}
+}
+
+func (n *Node) handleCall(m simnet.Msg) (any, int, error) {
+	switch {
+	case strings.HasPrefix(m.Kind, "dsm."):
+		return n.dsm.HandleCall(m)
+	case strings.HasPrefix(m.Kind, "gc."):
+		return n.col.HandleCall(m)
+	case m.Kind == KindMapBunch:
+		req := m.Payload.(mapBunchReq)
+		rep := mapBunchReply{}
+		bytes := 0
+		heap := n.col.Heap()
+		for _, meta := range n.cl.dir.Segments(req.Bunch) {
+			s := heap.Seg(meta.ID)
+			if s == nil {
+				continue
+			}
+			img := s.Export()
+			bytes += img.WireBytes()
+			rep.Images = append(rep.Images, img)
+			// The mapper's adopted replicas will carry ownerPtrs pointing
+			// here: record the entering entries that make them collector
+			// roots until the mapper's own tables say otherwise.
+			for _, a := range s.Objects() {
+				if !heap.Forwarded(a) {
+					n.dsm.AddEntering(heap.ObjOID(a), m.From, req.Gen)
+				}
+			}
+		}
+		return rep, bytes, nil
+	default:
+		return nil, 0, fmt.Errorf("cluster: unknown call kind %q", m.Kind)
+	}
+}
+
+// ---- node identity and state access ------------------------------------------
+
+// ID returns the node identifier.
+func (n *Node) ID() addr.NodeID { return n.id }
+
+// Collector exposes the node's GC engine (experiments and tools need the
+// stats-bearing internals; applications use the mutator API).
+func (n *Node) Collector() *core.Collector { return n.col }
+
+// DSM exposes the node's protocol engine.
+func (n *Node) DSM() *dsm.Node { return n.dsm }
+
+// Disk returns the node's simulated disk (nil without WithDisk).
+func (n *Node) Disk() *store.Disk { return n.disk }
+
+func (n *Node) lock() func() {
+	n.cl.mu.Lock()
+	return n.cl.mu.Unlock
+}
+
+// ---- bunch management ---------------------------------------------------------
+
+// NewBunch creates a bunch owned (created) at this node.
+func (n *Node) NewBunch() addr.BunchID {
+	defer n.lock()()
+	b := n.cl.dir.NewBunch(n.id)
+	n.col.Replica(b)
+	return b
+}
+
+// MapBunch maps a replica of bunch b at this node, fetching the current
+// segment images from a node already holding a replica. Mapped bunches are
+// kept weakly consistent from then on (§2.1).
+func (n *Node) MapBunch(b addr.BunchID) error {
+	defer n.lock()()
+	return n.mapBunchLocked(b)
+}
+
+func (n *Node) mapBunchLocked(b addr.BunchID) error {
+	if n.cl.dir.HasReplica(b, n.id) && n.col.HasReplica(b) {
+		return nil
+	}
+	src := addr.NoNode
+	for _, r := range n.cl.dir.Replicas(b) {
+		if r != n.id {
+			src = r
+			break
+		}
+	}
+	n.col.Replica(b)
+	if src == addr.NoNode {
+		// First replica (freshly created bunch): nothing to fetch.
+		n.cl.dir.AddReplica(b, n.id)
+		return nil
+	}
+	raw, err := n.cl.net.Call(simnet.Msg{
+		From: n.id, To: src, Kind: KindMapBunch, Class: simnet.ClassApp,
+		Payload: mapBunchReq{Bunch: b, Gen: n.col.NextTableGen(b)}, Bytes: 16,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: mapping %v from %v: %w", b, src, err)
+	}
+	rep := raw.(mapBunchReply)
+	heap := n.col.Heap()
+	for _, img := range rep.Images {
+		meta := n.cl.dir.Allocator().Meta(img.ID)
+		seg := heap.MapSegment(meta)
+		seg.Import(img)
+		// Adopt the image's objects: every non-forwarded header becomes
+		// this node's canonical copy unless the object is already known.
+		for _, a := range seg.Objects() {
+			if heap.Forwarded(a) {
+				continue
+			}
+			oid := heap.ObjOID(a)
+			if _, known := heap.Canonical(oid); known {
+				continue
+			}
+			heap.SetCanonical(oid, a)
+			n.dsm.Learn(oid, b, src)
+		}
+	}
+	n.cl.dir.AddReplica(b, n.id)
+	n.cl.Stats().Add("cluster.bunchesMapped", 1)
+	return nil
+}
+
+// UnmapBunch drops this node's replica of bunch b. The node must not own
+// any live object of the bunch (transfer ownership first); mutator roots
+// into the bunch must have been removed.
+func (n *Node) UnmapBunch(b addr.BunchID) error {
+	defer n.lock()()
+	for _, o := range n.dsm.ObjectsInBunch(b) {
+		if n.dsm.IsOwner(o) {
+			return fmt.Errorf("cluster: %v still owns %v in %v", n.id, o, b)
+		}
+	}
+	heap := n.col.Heap()
+	for _, meta := range n.cl.dir.Segments(b) {
+		for _, o := range heap.KnownObjects() {
+			if a, ok := heap.Canonical(o); ok && meta.Contains(a) {
+				heap.DropObject(o)
+				n.dsm.Forget(o)
+			}
+		}
+		heap.UnmapSegment(meta.ID)
+	}
+	n.cl.dir.RemoveReplica(b, n.id)
+	return nil
+}
+
+// ---- collection driving -------------------------------------------------------
+
+// CollectBunch runs the BGC on this node's replica of b (§4).
+func (n *Node) CollectBunch(b addr.BunchID) core.CollectStats {
+	defer n.lock()()
+	return n.col.CollectBunch(b)
+}
+
+// CollectBunchOpts runs the BGC with options. The DuringTrace callback runs
+// with the cluster lock released so it can use the full mutator API, exactly
+// like an application thread running concurrently with the collector.
+func (n *Node) CollectBunchOpts(b addr.BunchID, opts core.CollectOpts) core.CollectStats {
+	defer n.lock()()
+	if f := opts.DuringTrace; f != nil {
+		opts.DuringTrace = func() {
+			n.cl.mu.Unlock()
+			defer n.cl.mu.Lock()
+			f()
+		}
+	}
+	return n.col.CollectBunchOpts(b, opts)
+}
+
+// CollectGroup runs the GGC (§7) on the given group, or on every locally
+// mapped bunch when group is nil (the locality heuristic).
+func (n *Node) CollectGroup(group []addr.BunchID) core.CollectStats {
+	defer n.lock()()
+	return n.col.CollectGroup(group)
+}
+
+// ConnectedGroups partitions the locally mapped bunches into SSP-connected
+// components (the improved grouping heuristic of §7's future work).
+func (n *Node) ConnectedGroups() [][]addr.BunchID {
+	defer n.lock()()
+	return n.col.ConnectedGroups()
+}
+
+// CollectConnectedGroups runs one group collection per SSP-connected
+// component.
+func (n *Node) CollectConnectedGroups() core.CollectStats {
+	defer n.lock()()
+	return n.col.CollectConnectedGroups()
+}
+
+// ReclaimFromSpace runs the §4.5 from-space reuse protocol for bunch b.
+func (n *Node) ReclaimFromSpace(b addr.BunchID) core.ReclaimStats {
+	defer n.lock()()
+	return n.col.ReclaimFromSpace(b)
+}
+
+// FlushLocations pushes pending location updates as background messages.
+func (n *Node) FlushLocations() {
+	defer n.lock()()
+	n.col.FlushLocations()
+}

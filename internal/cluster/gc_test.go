@@ -1,0 +1,501 @@
+package cluster
+
+import (
+	"testing"
+
+	"bmx/internal/core"
+)
+
+// settle runs collections at every node over every mapped bunch and drains
+// background traffic, rounds times. This is the "repeated BGC + scion
+// cleaner" schedule distributed garbage collection converges under.
+func settle(cl *Cluster, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < cl.Nodes(); i++ {
+			n := cl.Node(i)
+			for _, b := range n.Collector().MappedBunches() {
+				n.CollectBunch(b)
+			}
+			cl.Run(0)
+		}
+	}
+}
+
+func TestDistributedAcyclicGarbage(t *testing.T) {
+	// A cross-node, cross-bunch chain: root@N1 -> a(B1) -> b(B2@N2).
+	// Cutting the root must reclaim both, using only table messages.
+	cl := New(Config{Nodes: 2, SegWords: 64, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b1 := n1.NewBunch()
+	b2 := n2.NewBunch()
+	bObj := n2.MustAlloc(b2, 1)
+	a := n1.MustAlloc(b1, 1)
+	n1.AddRoot(a)
+	if err := n1.AcquireRead(bObj); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.WriteRef(a, 0, bObj); err != nil {
+		t.Fatal(err)
+	}
+
+	// While rooted, nothing dies.
+	settle(cl, 2)
+	if _, ok := n2.Collector().Heap().Canonical(bObj.OID); !ok {
+		t.Fatal("live target collected at its home node")
+	}
+
+	// Cut the root: a dies at N1, the stub disappears from N1's next
+	// table, the cleaner at N2 deletes the scion, and b dies at N2.
+	n1.RemoveRoot(a)
+	settle(cl, 3)
+	if _, ok := n1.Collector().Heap().Canonical(a.OID); ok {
+		t.Fatal("a still present at N1")
+	}
+	if len(n2.Collector().Replica(b2).Table.InterScions) != 0 {
+		t.Fatal("scion for dead reference not cleaned")
+	}
+	if _, ok := n2.Collector().Heap().Canonical(bObj.OID); ok {
+		t.Fatal("b still present at N2 after scion cleaning")
+	}
+}
+
+func TestScionKeepsRemoteObjectAlive(t *testing.T) {
+	cl := New(Config{Nodes: 2, SegWords: 64, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b1 := n1.NewBunch()
+	b2 := n2.NewBunch()
+	tgt := n2.MustAlloc(b2, 1)
+	src := n1.MustAlloc(b1, 1)
+	n1.AddRoot(src)
+	n1.AcquireRead(tgt)
+	n1.WriteRef(src, 0, tgt)
+
+	// N2 has no local root for tgt; only the scion (from N1's stub) keeps
+	// it alive. Collect at N2 repeatedly: must survive.
+	for i := 0; i < 3; i++ {
+		n2.CollectBunch(b2)
+		cl.Run(0)
+	}
+	if _, ok := n2.Collector().Heap().Canonical(tgt.OID); !ok {
+		t.Fatal("scion failed to keep the target alive")
+	}
+}
+
+func TestEnteringOwnerPtrKeepsOwnerReplicaAlive(t *testing.T) {
+	// N2 takes ownership of an object rooted only at N1. N2's replica has
+	// no local root; the entering ownerPtr (N1 -> N2) must keep it alive
+	// at N2 until N1 drops it.
+	cl := New(Config{Nodes: 2, SegWords: 64, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b := n1.NewBunch()
+	o := n1.MustAlloc(b, 1)
+	n1.AddRoot(o)
+	n2.MapBunch(b)
+	if err := n2.AcquireWrite(o); err != nil {
+		t.Fatal(err)
+	}
+	// Collect at N2 (owner, no local root): object must survive via the
+	// entering ownerPtr from N1.
+	settle(cl, 2)
+	if _, ok := n2.Collector().Heap().Canonical(o.OID); !ok {
+		t.Fatal("owner's replica died while a remote replica still points at it")
+	}
+	// N1 drops its root; after tables propagate, N2 may reclaim.
+	n1.RemoveRoot(o)
+	settle(cl, 3)
+	if _, ok := n2.Collector().Heap().Canonical(o.OID); ok {
+		t.Fatal("object survived at owner after the last reference died")
+	}
+}
+
+func TestIntraBunchSSPChainFigure4(t *testing.T) {
+	// Figure 4 and §6.2: O1 cached on N1, N2, N3; reachable from a single
+	// mutator at N1. Ownership history gives N3 an intra-bunch scion
+	// (ownership moved from N3 to N2), so O1 stays alive at N3 only
+	// through it; its exiting ownerPtr is omitted, breaking the cycle.
+	cl := New(Config{Nodes: 3, SegWords: 64, Seed: 1})
+	n1, n2, n3 := cl.Node(0), cl.Node(1), cl.Node(2)
+	bOther := n1.NewBunch()
+	b := n3.NewBunch() // O1's bunch, created at N3
+	o1 := n3.MustAlloc(b, 1)
+
+	// N3 creates an inter-bunch reference from O1 into bOther, so N3
+	// holds an inter-bunch stub for O1.
+	other := n1.MustAlloc(bOther, 1)
+	n1.AddRoot(other)
+	if err := n3.AcquireRead(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := n3.WriteRef(o1, 0, other); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ownership moves N3 -> N2: invariant 3 creates the intra-bunch SSP
+	// (scion at N3, stub at N2).
+	n2.MapBunch(b)
+	if err := n2.AcquireWrite(o1); err != nil {
+		t.Fatal(err)
+	}
+	if len(n3.Collector().Replica(b).Table.IntraScions) != 1 {
+		t.Fatal("intra-bunch scion missing at old owner N3")
+	}
+	if len(n2.Collector().Replica(b).Table.IntraStubs) != 1 {
+		t.Fatal("intra-bunch stub missing at new owner N2")
+	}
+
+	// N1 holds the only mutator reference.
+	n1.MapBunch(b)
+	if err := n1.AcquireRead(o1); err != nil {
+		t.Fatal(err)
+	}
+	n1.AddRoot(o1)
+
+	// While N1's root lives, O1 survives everywhere (N3 via intra scion).
+	settle(cl, 3)
+	for i, n := range []*Node{n1, n2, n3} {
+		if _, ok := n.Collector().Heap().Canonical(o1.OID); !ok {
+			t.Fatalf("O1 prematurely dead at N%d", i+1)
+		}
+	}
+
+	// The reference to O1 is deleted from N1's root: the deletion chain of
+	// §6.2 must reclaim O1 at N1, then N2 (entering ownerPtr removed),
+	// then N3 (intra-bunch scion deleted).
+	n1.RemoveRoot(o1)
+	settle(cl, 4)
+	for i, n := range []*Node{n1, n2, n3} {
+		if _, ok := n.Collector().Heap().Canonical(o1.OID); ok {
+			t.Fatalf("O1 still present at N%d after deletion chain", i+1)
+		}
+	}
+	if len(n3.Collector().Replica(b).Table.IntraScions) != 0 {
+		t.Fatal("intra-bunch scion not cleaned at N3")
+	}
+	// And the inter-bunch scion for O1 -> other was dropped, so other dies
+	// too once its own root goes.
+	n1.RemoveRoot(other)
+	settle(cl, 3)
+	if _, ok := n1.Collector().Heap().Canonical(other.OID); ok {
+		t.Fatal("inter-bunch target not reclaimed after chain unwound")
+	}
+}
+
+func TestGGCCollectsInterBunchCycle(t *testing.T) {
+	// A dead cycle spanning two bunches at one site: BGCs alone cannot
+	// reclaim it (each bunch's scion keeps the other alive); the GGC must.
+	cl := New(Config{Nodes: 1, SegWords: 64})
+	n := cl.Node(0)
+	b1 := n.NewBunch()
+	b2 := n.NewBunch()
+	x := n.MustAlloc(b1, 1)
+	y := n.MustAlloc(b2, 1)
+	n.WriteRef(x, 0, y)
+	n.WriteRef(y, 0, x)
+
+	// Independent bunch collections do not reclaim the cycle (§7: objects
+	// are artificially held over by SSPs from within the group).
+	for i := 0; i < 3; i++ {
+		n.CollectBunch(b1)
+		n.CollectBunch(b2)
+		cl.Run(0)
+	}
+	if _, ok := n.Collector().Heap().Canonical(x.OID); !ok {
+		t.Fatal("BGC alone should NOT reclaim the cycle (scions are roots)")
+	}
+
+	// The GGC with both bunches in the group reclaims it.
+	st := n.CollectGroup(nil)
+	if st.Dead != 2 {
+		t.Fatalf("GGC reclaimed %d objects, want 2", st.Dead)
+	}
+	if _, ok := n.Collector().Heap().Canonical(x.OID); ok {
+		t.Fatal("cycle member x survived the GGC")
+	}
+	if _, ok := n.Collector().Heap().Canonical(y.OID); ok {
+		t.Fatal("cycle member y survived the GGC")
+	}
+}
+
+func TestGGCKeepsLiveCycle(t *testing.T) {
+	cl := New(Config{Nodes: 1, SegWords: 64})
+	n := cl.Node(0)
+	b1 := n.NewBunch()
+	b2 := n.NewBunch()
+	x := n.MustAlloc(b1, 1)
+	y := n.MustAlloc(b2, 1)
+	n.WriteRef(x, 0, y)
+	n.WriteRef(y, 0, x)
+	n.AddRoot(x)
+	n.CollectGroup(nil)
+	if _, ok := n.Collector().Heap().Canonical(x.OID); !ok {
+		t.Fatal("live cycle reclaimed")
+	}
+	if _, ok := n.Collector().Heap().Canonical(y.OID); !ok {
+		t.Fatal("live cycle member reclaimed")
+	}
+}
+
+func TestGGCRespectsRemoteStubs(t *testing.T) {
+	// A cycle between B1 and B2 whose B1->B2 edge was created at another
+	// node: the GGC at N1 must NOT exclude the remotely-sourced scion, so
+	// the cycle survives (it is not provably dead at this site alone).
+	cl := New(Config{Nodes: 2, SegWords: 64, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b1 := n1.NewBunch()
+	b2 := n1.NewBunch()
+	x := n1.MustAlloc(b1, 1)
+	y := n1.MustAlloc(b2, 1)
+	// y -> x created at N1 (local SSP); x -> y created at N2.
+	n1.WriteRef(y, 0, x)
+	n2.MapBunch(b1)
+	n2.MapBunch(b2)
+	if err := n2.AcquireWrite(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.WriteRef(x, 0, y); err != nil {
+		t.Fatal(err)
+	}
+	// The x->y scion at N2... both bunches mapped at N2, so the SSP is
+	// local to N2. N1's GGC sees an intra-group scion for x<-y (local) but
+	// y's scion from N2's stub must stay a root.
+	n1.CollectGroup(nil)
+	cl.Run(0)
+	if _, ok := n1.Collector().Heap().Canonical(y.OID); !ok {
+		t.Fatal("GGC collected an object still referenced by a remote stub")
+	}
+}
+
+func TestFromSpaceReclaim(t *testing.T) {
+	cl := New(Config{Nodes: 2, SegWords: 64, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b := n1.NewBunch()
+	o1 := n1.MustAlloc(b, 2)
+	o2 := n1.MustAlloc(b, 2)
+	n1.AddRoot(o1)
+	n1.WriteRef(o1, 0, o2)
+	n2.MapBunch(b)
+	n2.AddRoot(o1)
+
+	// N1 collects: o1, o2 move to to-space; the original segment becomes
+	// from-space.
+	n1.CollectBunch(b)
+	cl.Run(0)
+	if len(n1.Collector().FromSpaceSegments(b)) == 0 {
+		t.Fatal("no from-space segments after collection")
+	}
+	segsBefore := len(cl.Directory().Segments(b))
+
+	st := n1.ReclaimFromSpace(b)
+	if st.Segments == 0 {
+		t.Fatal("nothing reclaimed")
+	}
+	if len(cl.Directory().Segments(b)) >= segsBefore {
+		t.Fatal("segment count did not shrink")
+	}
+	cl.Run(0)
+
+	// Both nodes still see a working graph.
+	if err := n2.AcquireRead(o1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := n2.ReadRef(o1, 0)
+	if err != nil || !n2.SamePtr(r, o2) {
+		t.Fatalf("graph broken after reclaim: %v, %v", r, err)
+	}
+	if err := n1.AcquireWrite(o2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.WriteWord(o2, 1, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSpaceReclaimWithRemoteOwner(t *testing.T) {
+	// An object in N1's from-space segment is owned by N2: the reclaim
+	// protocol must ask N2 to copy it out (§4.5).
+	cl := New(Config{Nodes: 2, SegWords: 64, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b := n1.NewBunch()
+	o := n1.MustAlloc(b, 1)
+	n1.AddRoot(o)
+	n2.MapBunch(b)
+	if err := n2.AcquireWrite(o); err != nil {
+		t.Fatal(err)
+	}
+	n2.WriteWord(o, 0, 99)
+
+	// N1's BGC does not copy o (not owned); o's canonical at N1 stays in
+	// the original segment.
+	n1.CollectBunch(b)
+	cl.Run(0)
+	before := cl.Stats().Get("core.copyOut.msgs")
+	n1.ReclaimFromSpace(b)
+	if cl.Stats().Get("core.copyOut.msgs") == before {
+		t.Fatal("no copy-out request for the remotely owned object")
+	}
+	cl.Run(0)
+	// o still alive and consistent everywhere.
+	if err := n1.AcquireRead(o); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := n1.ReadWord(o, 0); v != 99 {
+		t.Fatalf("value after reclaim = %d", v)
+	}
+}
+
+func TestTablesTolerateLoss(t *testing.T) {
+	// Table messages are idempotent snapshots: with 40% background loss,
+	// repeated collection rounds still reclaim distributed garbage and
+	// never touch live objects.
+	cl := New(Config{Nodes: 2, SegWords: 64, Seed: 7, LossRate: 0.4})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b1 := n1.NewBunch()
+	b2 := n2.NewBunch()
+	live := n2.MustAlloc(b2, 1)
+	dead := n2.MustAlloc(b2, 1)
+	src := n1.MustAlloc(b1, 2)
+	n1.AddRoot(src)
+	n1.AcquireRead(live)
+	n1.AcquireRead(dead)
+	n1.WriteRef(src, 0, live)
+	n1.WriteRef(src, 1, dead)
+	settle(cl, 2)
+
+	// Cut the dead branch.
+	n1.AcquireWrite(src)
+	n1.WriteRef(src, 1, Nil)
+	settle(cl, 8) // enough rounds that some tables get through
+
+	if _, ok := n2.Collector().Heap().Canonical(dead.OID); ok {
+		t.Fatal("dead object survived repeated rounds under loss")
+	}
+	if _, ok := n2.Collector().Heap().Canonical(live.OID); !ok {
+		t.Fatal("live object lost under message loss — SAFETY violation")
+	}
+}
+
+func TestPersistenceCheckpointRecover(t *testing.T) {
+	cl := New(Config{Nodes: 1, SegWords: 64, WithDisk: true})
+	n := cl.Node(0)
+	b := n.NewBunch()
+	a := n.MustAlloc(b, 2)
+	c := n.MustAlloc(b, 2)
+	n.AddRoot(a)
+	n.WriteRef(a, 0, c)
+	n.WriteWord(c, 1, 123)
+	if err := n.Checkpoint(b); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint mutation, synced via the RVM log.
+	n.WriteWord(c, 1, 456)
+	n.Sync()
+	// And one more that is lost in the crash.
+	n.WriteWord(c, 1, 789)
+
+	if err := n.Crash(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ReadWord(c, 1); err == nil {
+		t.Fatal("reads must fail after crash")
+	}
+	if err := n.RecoverBunch(b); err != nil {
+		t.Fatal(err)
+	}
+	r, err := n.ReadRef(a, 0)
+	if err != nil || !n.SamePtr(r, c) {
+		t.Fatalf("graph after recovery: %v, %v", r, err)
+	}
+	v, err := n.ReadWord(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 456 {
+		t.Fatalf("recovered value = %d, want 456 (synced) not 789 (unsynced) nor 123 (checkpoint)", v)
+	}
+}
+
+func TestRecoveryOfPostCheckpointAllocation(t *testing.T) {
+	cl := New(Config{Nodes: 1, SegWords: 64, WithDisk: true})
+	n := cl.Node(0)
+	b := n.NewBunch()
+	a := n.MustAlloc(b, 1)
+	n.AddRoot(a)
+	n.Checkpoint(b)
+	// Allocated and linked after the checkpoint; survives via the log.
+	fresh := n.MustAlloc(b, 1)
+	n.WriteRef(a, 0, fresh)
+	n.WriteWord(fresh, 0, 7)
+	n.Sync()
+	n.Crash(b)
+	if err := n.RecoverBunch(b); err != nil {
+		t.Fatal(err)
+	}
+	r, err := n.ReadRef(a, 0)
+	if err != nil || !n.SamePtr(r, fresh) {
+		t.Fatalf("post-checkpoint allocation lost: %v, %v", r, err)
+	}
+	if v, _ := n.ReadWord(fresh, 0); v != 7 {
+		t.Fatalf("recovered fresh value = %d", v)
+	}
+}
+
+func TestConcurrentCollectionWithMutator(t *testing.T) {
+	// O'Toole-style: the mutator runs between the root snapshot and the
+	// trace. New objects and writes during the collection must survive.
+	cl := New(Config{Nodes: 1, SegWords: 64})
+	n := cl.Node(0)
+	b := n.NewBunch()
+	root := n.MustAlloc(b, 2)
+	n.AddRoot(root)
+	var during Ref
+	st := n.CollectBunchOpts(b, core.CollectOpts{DuringTrace: func() {
+		during = n.MustAlloc(b, 1)
+		if err := n.WriteRef(root, 0, during); err != nil {
+			t.Error(err)
+		}
+		if err := n.WriteWord(during, 0, 11); err != nil {
+			t.Error(err)
+		}
+	}})
+	if st.PauseFlipTicks == 0 {
+		t.Fatal("mutation log replay should have charged the flip pause")
+	}
+	r, err := n.ReadRef(root, 0)
+	if err != nil || !n.SamePtr(r, during) {
+		t.Fatalf("object allocated during GC lost: %v, %v", r, err)
+	}
+	if v, _ := n.ReadWord(during, 0); v != 11 {
+		t.Fatalf("value written during GC = %d", v)
+	}
+	// It must also survive the NEXT collection (now traced normally).
+	n.CollectBunch(b)
+	if v, _ := n.ReadWord(during, 0); v != 11 {
+		t.Fatal("object allocated during GC lost in the following GC")
+	}
+}
+
+func TestUnmapBunch(t *testing.T) {
+	cl := New(Config{Nodes: 2, SegWords: 64, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b := n1.NewBunch()
+	o := n1.MustAlloc(b, 1)
+	n1.AddRoot(o)
+	n2.MapBunch(b)
+	if err := n2.AcquireWrite(o); err != nil {
+		t.Fatal(err)
+	}
+	// N2 owns o: unmap must refuse.
+	if err := n2.UnmapBunch(b); err == nil {
+		t.Fatal("unmap with owned objects must fail")
+	}
+	// Hand ownership back, then unmap succeeds.
+	if err := n1.AcquireWrite(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.UnmapBunch(b); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Directory().HasReplica(b, n2.ID()) {
+		t.Fatal("directory still lists dropped replica")
+	}
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"fmt"
+
+	"bmx/internal/addr"
+	"bmx/internal/mem"
+	"bmx/internal/rvm"
+)
+
+// Persistence follows the prototype of §8: each segment is associated with a
+// file, and recovery uses RVM-style recoverable virtual memory — mutations
+// between checkpoints are batched into redo-log transactions; Sync forces
+// the open transaction; Checkpoint writes full segment images and truncates
+// the log. A crash loses everything after the last Sync and nothing before
+// it. From-space and to-space are each file-backed (the O'Toole approach):
+// every segment, whichever space it currently plays, has its own image file.
+
+// logAllocation records a fresh object's header so recovery can rebuild the
+// object map. Called under the cluster lock.
+func (n *Node) logAllocation(oid addr.OID) {
+	if n.log == nil {
+		return
+	}
+	heap := n.col.Heap()
+	a, ok := heap.Canonical(oid)
+	if !ok {
+		return
+	}
+	seg := heap.SegAt(a)
+	off := a.WordOff(seg.Meta.Base)
+	hdr := make([]uint64, mem.HeaderWords)
+	for i := range hdr {
+		hdr[i] = heap.Word(a.AddWords(i))
+	}
+	n.tx().SetRange(seg.Meta.ID, off, hdr)
+}
+
+// logWrite records one mutated field, including its reference-map bit.
+// Called under the cluster lock.
+func (n *Node) logWrite(oid addr.OID, objAddr addr.Addr, field int) {
+	if n.log == nil {
+		return
+	}
+	heap := n.col.Heap()
+	fa := heap.DataAddr(objAddr, field)
+	seg := heap.SegAt(fa)
+	off := fa.WordOff(seg.Meta.Base)
+	n.tx().SetRange(seg.Meta.ID, off, []uint64{heap.Word(fa)})
+	n.tx().SetRefBit(seg.Meta.ID, off, heap.IsRefField(objAddr, field))
+}
+
+func (n *Node) tx() *rvm.Tx {
+	if n.openTx == nil {
+		n.openTx = n.log.Begin()
+	}
+	return n.openTx
+}
+
+// Sync commits the open mutation transaction to the node's recoverable log.
+// Mutations since the previous Sync become crash-durable.
+func (n *Node) Sync() {
+	defer n.lock()()
+	if n.openTx != nil {
+		n.openTx.Commit()
+		n.openTx = nil
+	}
+}
+
+// Checkpoint writes full images of this node's mapped segments of bunch b to
+// their backing files and truncates the recoverable log. Garbage-collected
+// space never reaches the checkpoint: persistence by reachability means
+// objects unreachable from the roots are not stored on disk (§1) — the BGC
+// drops them before they can be checkpointed, and reclaimed from-space
+// segments have their files removed.
+func (n *Node) Checkpoint(b addr.BunchID) error {
+	defer n.lock()()
+	if n.disk == nil {
+		return fmt.Errorf("cluster: node %v has no disk", n.id)
+	}
+	if n.openTx != nil {
+		n.openTx.Commit()
+		n.openTx = nil
+	}
+	heap := n.col.Heap()
+	current := make(map[addr.SegID]bool)
+	for _, meta := range n.cl.dir.Segments(b) {
+		current[meta.ID] = true
+		if s := heap.Seg(meta.ID); s != nil {
+			rvm.WriteImage(n.disk, s.Export())
+		}
+	}
+	// Remove files of segments the bunch no longer has (reclaimed
+	// from-space): address recycling reaches secondary storage too (§1).
+	// The judgement uses the bunch recorded IN the image — the segment's
+	// current metadata may already belong to the range's next tenant.
+	for _, name := range n.disk.Files() {
+		var id uint32
+		if _, err := fmt.Sscanf(name, "segimg-%d", &id); err != nil {
+			continue
+		}
+		if current[addr.SegID(id)] {
+			continue
+		}
+		if img, ok := rvm.ReadImage(n.disk, addr.SegID(id)); ok && img.Bunch == b {
+			n.disk.Remove(name)
+		}
+	}
+	n.log.Truncate()
+	n.cl.Stats().Add("cluster.checkpoints", 1)
+	return nil
+}
+
+// Crash simulates a node failure: the disk loses everything unsynced, and
+// the in-memory replica of bunch b is discarded. RecoverBunch rebuilds it.
+func (n *Node) Crash(b addr.BunchID) error {
+	defer n.lock()()
+	if n.disk == nil {
+		return fmt.Errorf("cluster: node %v has no disk", n.id)
+	}
+	n.disk.Crash()
+	n.openTx = nil
+	heap := n.col.Heap()
+	for _, meta := range n.cl.dir.Segments(b) {
+		heap.UnmapSegment(meta.ID)
+	}
+	for _, o := range n.dsm.ObjectsInBunch(b) {
+		n.dsm.Forget(o)
+	}
+	return nil
+}
+
+// RecoverBunch reloads bunch b from this node's disk: segment images from
+// the checkpoint, then the committed suffix of the recoverable log, then
+// protocol state rebuilt from the recovered headers (the recovering node
+// owns what it recovers, matching the one-process-per-node prototype
+// simplification of §8).
+func (n *Node) RecoverBunch(b addr.BunchID) error {
+	defer n.lock()()
+	if n.disk == nil {
+		return fmt.Errorf("cluster: node %v has no disk", n.id)
+	}
+	heap := n.col.Heap()
+	for _, meta := range n.cl.dir.Segments(b) {
+		img, ok := rvm.ReadImage(n.disk, meta.ID)
+		if !ok {
+			continue
+		}
+		if img.Bunch != b {
+			// The segment's address range was recycled: this backing file
+			// belongs to a previous tenant and must not be replayed here.
+			continue
+		}
+		seg := heap.MapSegment(meta)
+		seg.Import(img)
+	}
+	// Replay committed mutations logged after the checkpoint.
+	for _, rec := range n.log.Recover() {
+		meta := n.cl.dir.Allocator().Meta(rec.Seg)
+		if meta == nil || meta.Bunch != b {
+			continue
+		}
+		seg := heap.MapSegment(meta)
+		if rec.RefBit {
+			seg.SetRefBit(rec.Off, rec.Words[0] != 0)
+			continue
+		}
+		base := seg.Meta.Base.AddWords(rec.Off)
+		for i, w := range rec.Words {
+			heap.SetWord(base.AddWords(i), w)
+		}
+		// A logged object header must reappear in the object map.
+		if len(rec.Words) == mem.HeaderWords {
+			if info, ok := n.cl.dir.Object(addr.OID(rec.Words[1])); ok && info.AllocAddr == base {
+				heap.Materialize(base, info.OID, info.Size)
+				for i, w := range rec.Words {
+					heap.SetWord(base.AddWords(i), w)
+				}
+			}
+		}
+	}
+	// Rebuild canonical addresses and protocol state from the headers.
+	for _, meta := range n.cl.dir.Segments(b) {
+		seg := heap.Seg(meta.ID)
+		if seg == nil {
+			continue
+		}
+		for _, a := range seg.Objects() {
+			if heap.Forwarded(a) {
+				continue
+			}
+			oid := heap.ObjOID(a)
+			if _, known := heap.Canonical(oid); known {
+				continue
+			}
+			heap.SetCanonical(oid, a)
+			if !n.dsm.Knows(oid) {
+				n.dsm.RegisterNew(oid, b)
+			}
+		}
+	}
+	n.cl.Stats().Add("cluster.recoveries", 1)
+	return nil
+}

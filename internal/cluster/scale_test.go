@@ -1,0 +1,155 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"bmx/internal/cluster"
+	"bmx/internal/trace"
+)
+
+// Scale tests (skipped in -short mode): the structures must hold up well
+// past the sizes the unit tests use.
+
+func TestScaleLargeBunch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale tests skipped in -short mode")
+	}
+	cl := cluster.New(cluster.Config{Nodes: 1, SegWords: 4096})
+	n := cl.Node(0)
+	b := n.NewBunch()
+	const objs = 10000
+	g, err := trace.BuildList(n, b, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Churn(n, g, 0.5, 9); err != nil {
+		t.Fatal(err)
+	}
+	st := n.CollectBunch(b)
+	if st.LiveStrong+st.Dead != objs {
+		t.Fatalf("live %d + dead %d != %d", st.LiveStrong, st.Dead, objs)
+	}
+	if st.Dead == 0 || st.LiveStrong == 0 {
+		t.Fatalf("degenerate churn: %+v", st)
+	}
+	// Second collection: everything copied again, nothing else dies.
+	st2 := n.CollectBunch(b)
+	if st2.Dead != 0 || st2.LiveStrong != st.LiveStrong {
+		t.Fatalf("second pass: %+v vs %+v", st2, st)
+	}
+	// Walk the surviving prefix.
+	cur := g.Root
+	steps := 0
+	for !cur.IsNil() && steps <= objs {
+		next, err := n.ReadRef(cur, 0)
+		if err != nil {
+			t.Fatalf("walk at step %d: %v", steps, err)
+		}
+		cur = next
+		steps++
+	}
+	if steps != st.LiveStrong {
+		t.Fatalf("walked %d, live %d", steps, st.LiveStrong)
+	}
+}
+
+func TestScaleSixteenNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale tests skipped in -short mode")
+	}
+	const nodes = 16
+	cl := cluster.New(cluster.Config{Nodes: nodes, SegWords: 512, Seed: 1})
+	n0 := cl.Node(0)
+	b := n0.NewBunch()
+	g, err := trace.BuildList(n0, b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var others []*cluster.Node
+	for i := 1; i < nodes; i++ {
+		others = append(others, cl.Node(i))
+	}
+	if err := trace.Share(g.Objects, others...); err != nil {
+		t.Fatal(err)
+	}
+	// Ownership scatters across the ring, then everyone collects.
+	for i, o := range g.Objects {
+		if err := cl.Node(i % nodes).AcquireWrite(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv0 := cl.Stats().Get("dsm.invalidation.gc")
+	for i := 0; i < nodes; i++ {
+		cl.Node(i).CollectBunch(b)
+	}
+	cl.Run(0)
+	if cl.Stats().Get("dsm.invalidation.gc") != inv0 {
+		t.Fatal("collections caused invalidations at scale")
+	}
+	// The list still walks at an arbitrary node.
+	probe := cl.Node(7)
+	if err := probe.AcquireRead(g.Root); err != nil {
+		t.Fatal(err)
+	}
+	cur := g.Root
+	for i := 0; i < 64; i++ {
+		if err := probe.AcquireRead(cur); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		next, err := probe.ReadRef(cur, 0)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if next.IsNil() {
+			if i != 63 {
+				t.Fatalf("list ended early at %d", i)
+			}
+			break
+		}
+		cur = next
+	}
+	if bad := cl.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariants at scale: %v", bad)
+	}
+}
+
+func TestScaleManyBunches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale tests skipped in -short mode")
+	}
+	cl := cluster.New(cluster.Config{Nodes: 2, SegWords: 256, Seed: 1})
+	n := cl.Node(0)
+	// 64 bunches, chained into one long inter-bunch list.
+	const k = 64
+	var heads []cluster.Ref
+	for i := 0; i < k; i++ {
+		b := n.NewBunch()
+		o := n.MustAlloc(b, 1)
+		heads = append(heads, o)
+	}
+	n.AddRoot(heads[0])
+	for i := 0; i+1 < k; i++ {
+		if err := n.WriteRef(heads[i], 0, heads[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The group collector handles all of them in one pass.
+	st := n.CollectGroup(nil)
+	if st.Bunches != k {
+		t.Fatalf("group covered %d bunches, want %d", st.Bunches, k)
+	}
+	if st.Dead != 0 {
+		t.Fatalf("live chain lost %d objects", st.Dead)
+	}
+	// Cut the head: repeated group collections unwind the whole chain.
+	n.RemoveRoot(heads[0])
+	dead := 0
+	for round := 0; round < 4 && dead < k; round++ {
+		s := n.CollectGroup(nil)
+		dead += s.Dead
+		cl.Run(0)
+	}
+	if dead != k {
+		t.Fatalf("reclaimed %d of %d after cutting the head", dead, k)
+	}
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"bmx/internal/dsm"
+)
+
+// Soak tests: long randomized runs across the configuration matrix
+// (cluster sizes, loss rates, protocol variants, token granularities). They
+// are the heavyweight counterpart of the per-seed property tests and are
+// skipped in -short mode.
+
+func TestSoakMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak tests skipped in -short mode")
+	}
+	cases := []modelCfg{
+		{seed: 101, nodes: 2, steps: 800},
+		{seed: 102, nodes: 3, steps: 800, loss: 0.2},
+		{seed: 103, nodes: 4, steps: 600, loss: 0.4},
+		{seed: 104, nodes: 5, steps: 500},
+		{seed: 105, nodes: 3, steps: 600, protocol: dsm.ProtocolStrict},
+		{seed: 106, nodes: 3, steps: 500, protocol: dsm.ProtocolStrict, loss: 0.2},
+		{seed: 107, nodes: 2, steps: 500, segmentGrain: true},
+		{seed: 108, nodes: 3, steps: 400, segmentGrain: true, loss: 0.1},
+	}
+	for _, c := range cases {
+		c := c
+		name := fmt.Sprintf("n%d_s%d_loss%.0f_%v_grain%v",
+			c.nodes, c.steps, c.loss*100, c.protocol, c.segmentGrain)
+		t.Run(name, func(t *testing.T) {
+			runModelCfg(t, c)
+		})
+	}
+}
+
+func TestSoakInvariantsThroughout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak tests skipped in -short mode")
+	}
+	// Audit the full invariant set periodically during a long run.
+	m := newModel(t, modelCfg{seed: 222, nodes: 3, steps: 600})
+	for s := 0; s < 600; s++ {
+		m.step()
+		if s%100 == 99 {
+			m.cl.Run(0)
+			if bad := m.cl.CheckInvariants(); len(bad) != 0 {
+				t.Fatalf("step %d: %v", s, bad)
+			}
+		}
+	}
+}

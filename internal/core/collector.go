@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bmx/internal/addr"
+	"bmx/internal/dsm"
+	"bmx/internal/mem"
+	"bmx/internal/simnet"
+	"bmx/internal/ssp"
+)
+
+// Costs is the simulated-time cost model charged to the cluster clock by
+// collector work, making pause and overhead measurements reproducible.
+type Costs struct {
+	RootTick     uint64 // per root snapshot entry (flip pause 1)
+	ScanWordTick uint64 // per word scanned
+	CopyWordTick uint64 // per word copied
+	LogTick      uint64 // per mutation-log entry replayed (flip pause 2)
+}
+
+// DefaultCosts is a plausible relative cost model: copying a word costs
+// twice a scan touch.
+func DefaultCosts() Costs {
+	return Costs{RootTick: 1, ScanWordTick: 1, CopyWordTick: 2, LogTick: 2}
+}
+
+// Replica is one node's GC state for one mapped bunch: the stub/scion
+// table, the table generation counter and the local allocation segments.
+type Replica struct {
+	Bunch addr.BunchID
+	Table *ssp.Table
+	// Gen counts this node's reachability tables for the bunch; scions
+	// and entering entries created on this node's behalf are stamped with
+	// Gen+1 (the first table that will account for them).
+	Gen uint64
+
+	allocSeg *mem.Segment // current local allocation target (to-space)
+	// ownSegs are the segments this node created for the bunch; only the
+	// creator allocates into a segment, so only the creator may schedule
+	// it for reuse.
+	ownSegs []addr.SegID
+	// fromSegs are locally created segments superseded by the last
+	// collection, eligible for the §4.5 reuse protocol.
+	fromSegs []addr.SegID
+	gcActive bool
+	writeLog map[addr.OID]bool
+}
+
+func newReplica(b addr.BunchID) *Replica {
+	return &Replica{
+		Bunch:    b,
+		Table:    ssp.NewTable(b),
+		writeLog: make(map[addr.OID]bool),
+	}
+}
+
+// Collector is one node's garbage-collection engine. It implements
+// dsm.Hooks, which is the only direction of coupling with the consistency
+// protocol: the protocol calls out to the collector to carry piggybacked GC
+// information; the collector never acquires, releases, or invalidates a
+// token.
+type Collector struct {
+	node  addr.NodeID
+	heap  *mem.Heap
+	dir   *Directory
+	net   *simnet.Network
+	costs Costs
+	dsm   *dsm.Node
+
+	reps    map[addr.BunchID]*Replica
+	roots   map[addr.OID]int    // mutator root handles (stack refs), with counts
+	recvGen map[tableKey]uint64 // scion cleaner: highest table gen per (sender, bunch)
+	// replicateSSPs switches invariant 3 to the A1 ablation: replicate
+	// inter-bunch SSPs on ownership transfer instead of creating
+	// intra-bunch SSPs (§3.2 discusses and rejects this alternative).
+	replicateSSPs bool
+	// pending holds location updates queued per peer, awaiting a
+	// consistency message to ride on, or a background flush (§4.4).
+	pending map[addr.NodeID]map[addr.OID]dsm.Manifest
+	// locEpoch is the relocation epoch this node has applied (or, at the
+	// owner, produced) for each object; see dsm.Manifest.Epoch.
+	locEpoch map[addr.OID]uint64
+}
+
+// NewCollector creates node's collector. SetDSM must be called before any
+// collection or hook activity.
+func NewCollector(node addr.NodeID, heap *mem.Heap, dir *Directory, net *simnet.Network, costs Costs) *Collector {
+	return &Collector{
+		node:     node,
+		heap:     heap,
+		dir:      dir,
+		net:      net,
+		costs:    costs,
+		reps:     make(map[addr.BunchID]*Replica),
+		roots:    make(map[addr.OID]int),
+		recvGen:  make(map[tableKey]uint64),
+		pending:  make(map[addr.NodeID]map[addr.OID]dsm.Manifest),
+		locEpoch: make(map[addr.OID]uint64),
+	}
+}
+
+// SetDSM wires the protocol engine (constructed after the collector, since
+// the engine needs the collector as its Hooks).
+func (c *Collector) SetDSM(d *dsm.Node) { c.dsm = d }
+
+// SetReplicateInterSSPs enables the A1 ablation: on ownership transfer,
+// replicate inter-bunch SSPs at the new owner instead of creating an
+// intra-bunch SSP. Enable it on every node of a cluster before any
+// ownership moves.
+func (c *Collector) SetReplicateInterSSPs(on bool) { c.replicateSSPs = on }
+
+// Node returns the collector's node id.
+func (c *Collector) Node() addr.NodeID { return c.node }
+
+// Heap returns the node's heap.
+func (c *Collector) Heap() *mem.Heap { return c.heap }
+
+// DSM returns the node's protocol engine.
+func (c *Collector) DSM() *dsm.Node { return c.dsm }
+
+func (c *Collector) stats() *simnet.Stats { return c.net.Stats() }
+
+// Replica returns the GC state for bunch b, creating it on first use.
+func (c *Collector) Replica(b addr.BunchID) *Replica {
+	rep, ok := c.reps[b]
+	if !ok {
+		rep = newReplica(b)
+		c.reps[b] = rep
+	}
+	return rep
+}
+
+// HasReplica reports whether this node tracks bunch b.
+func (c *Collector) HasReplica(b addr.BunchID) bool {
+	_, ok := c.reps[b]
+	return ok
+}
+
+// MappedBunches returns the bunches with a local replica, sorted — the
+// locality-based group of §7.
+func (c *Collector) MappedBunches() []addr.BunchID {
+	out := make([]addr.BunchID, 0, len(c.reps))
+	for b := range c.reps {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---- Roots -----------------------------------------------------------------
+
+// AddRoot registers a mutator stack reference to o. Roots are counted so
+// that nested handles release correctly.
+func (c *Collector) AddRoot(o addr.OID) { c.roots[o]++ }
+
+// RemoveRoot drops one mutator stack reference to o.
+func (c *Collector) RemoveRoot(o addr.OID) {
+	if c.roots[o] <= 1 {
+		delete(c.roots, o)
+	} else {
+		c.roots[o]--
+	}
+}
+
+// RootOIDs returns the current mutator roots, sorted.
+func (c *Collector) RootOIDs() []addr.OID {
+	out := make([]addr.OID, 0, len(c.roots))
+	for o := range c.roots {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsRoot reports whether o is currently a mutator root on this node.
+func (c *Collector) IsRoot(o addr.OID) bool { return c.roots[o] > 0 }
+
+// ---- Allocation -------------------------------------------------------------
+
+// Alloc allocates a fresh object of size data words in bunch b on this node,
+// registering it with the directory and granting this node its write token.
+// The segment is extended when full (bunches exist precisely because "a
+// single segment is not flexible enough to support situations like segment
+// overflow", §2.1).
+func (c *Collector) Alloc(b addr.BunchID, size int) (addr.OID, error) {
+	max := c.dir.Allocator().SegWords() - mem.HeaderWords
+	if size < 0 || size > max {
+		return addr.NilOID, fmt.Errorf("core: object of %d words exceeds segment capacity %d", size, max)
+	}
+	rep := c.Replica(b)
+	if rep.allocSeg == nil || rep.allocSeg.FreeWords() < mem.HeaderWords+size {
+		rep.allocSeg = c.newAllocSeg(b)
+	}
+	oid := c.dir.NewOID()
+	a, ok := c.heap.Alloc(rep.allocSeg, oid, size)
+	if !ok {
+		return addr.NilOID, fmt.Errorf("core: allocation of %d words failed in fresh segment", size)
+	}
+	c.dir.RegisterObject(ObjInfo{OID: oid, Bunch: b, Size: size, AllocNode: c.node, AllocAddr: a})
+	c.dir.SetOwnerHint(oid, c.node)
+	c.dsm.RegisterNew(oid, b)
+	c.stats().Add("core.alloc.objects", 1)
+	c.stats().Add("core.alloc.words", int64(size+mem.HeaderWords))
+	return oid, nil
+}
+
+// CanonicalAddr returns this node's canonical address for o.
+func (c *Collector) CanonicalAddr(o addr.OID) (addr.Addr, bool) {
+	return c.heap.Canonical(o)
+}
+
+// OIDAt identifies the object a reference value denotes: through local
+// forwarding pointers and headers first, then through the tombstone index
+// of freed from-space segments.
+func (c *Collector) OIDAt(a addr.Addr) addr.OID {
+	if a.IsNil() {
+		return addr.NilOID
+	}
+	r := c.heap.Resolve(a)
+	if c.heap.Mapped(r) && c.heap.IsObjectAt(r) {
+		return c.heap.ObjOID(r)
+	}
+	if o, ok := c.dir.PlacementOID(r); ok {
+		return o
+	}
+	if o, ok := c.dir.PlacementOID(a); ok {
+		return o
+	}
+	return addr.NilOID
+}
+
+// ResolveRef returns the current local address of whatever reference value
+// a denotes, healing stale words through the tombstone index, and the
+// object's identity. A nil OID means the value is dangling garbage.
+func (c *Collector) ResolveRef(a addr.Addr) (addr.Addr, addr.OID) {
+	r := c.heap.Resolve(a)
+	if c.heap.Mapped(r) && c.heap.IsObjectAt(r) {
+		return r, c.heap.ObjOID(r)
+	}
+	o := c.OIDAt(a)
+	if o.IsNil() {
+		return r, addr.NilOID
+	}
+	if can, ok := c.heap.Canonical(o); ok {
+		can = c.heap.Resolve(can)
+		if c.heap.Mapped(can) && c.heap.IsObjectAt(can) {
+			return can, o
+		}
+	}
+	// The identity is known (placement ledger) even though this node holds
+	// no replica: the reference is valid, the data just lives elsewhere —
+	// the caller's next acquire will fetch it.
+	return r, o
+}
+
+// rememberTombstones records the identities of a freed segment's objects in
+// the cluster directory (the address-recycling ledger).
+func (c *Collector) rememberTombstones(hs []SegHeader) {
+	for _, h := range hs {
+		c.dir.RecordPlacement(h.Old, h.OID)
+	}
+}
+
+// ---- Write barrier (§3.2) ---------------------------------------------------
+
+// WriteBarrier runs after every reference store (the paper instruments every
+// application write, §3.2/§8). If the store created an inter-bunch
+// reference, the corresponding SSP is constructed immediately: locally when
+// the target bunch is mapped here, otherwise through a scion-message to a
+// node mapping the target bunch.
+func (c *Collector) WriteBarrier(src, target addr.OID) {
+	c.stats().Add("core.barrier.writes", 1)
+	if target.IsNil() {
+		return
+	}
+	sb, tb := c.dir.BunchOf(src), c.dir.BunchOf(target)
+	if sb == tb || tb == addr.NoBunch {
+		return
+	}
+	c.ensureInterSSP(src, sb, target, tb)
+	c.stats().Add("core.barrier.interBunch", 1)
+}
+
+// ensureInterSSP constructs the inter-bunch SSP for a reference from src
+// (in bunch sb) to target (in bunch tb), unless it already exists: the stub
+// locally, the scion either locally (target bunch mapped here) or at a node
+// mapping the target bunch via an acknowledged scion-message (§3.2).
+func (c *Collector) ensureInterSSP(src addr.OID, sb addr.BunchID, target addr.OID, tb addr.BunchID) {
+	rep := c.Replica(sb)
+	stub := ssp.InterStub{
+		SrcOID: src, SrcBunch: sb, TargetOID: target, TargetBunch: tb,
+	}
+	if _, exists := rep.Table.InterStubs[stub.Key()]; exists {
+		return // one SSP per (source, target) pair suffices (§3.1)
+	}
+	scion := ssp.InterScion{
+		TargetOID: target, TargetBunch: tb, SrcOID: src, SrcBunch: sb,
+		SrcNode: c.node, CreatedGen: rep.Gen + 1,
+	}
+	if c.dir.HasReplica(tb, c.node) {
+		// Both bunches mapped locally: create both halves in place.
+		stub.ScionNode = c.node
+		c.Replica(tb).Table.AddInterScion(scion)
+	} else {
+		// Send a scion-message to a node where the target bunch is
+		// mapped (§3.2). This is one of the few genuine GC messages; it
+		// is acknowledged so the reference is never unprotected.
+		dst := c.scionHost(tb)
+		stub.ScionNode = dst
+		msg := ssp.ScionMsg{Scion: scion}
+		if _, err := c.net.Call(simnet.Msg{
+			From: c.node, To: dst, Kind: KindScion, Class: simnet.ClassGC,
+			Payload: msg, Bytes: msg.WireBytes(),
+		}); err != nil {
+			panic(fmt.Sprintf("core: scion-message to %v failed: %v", dst, err))
+		}
+		c.stats().Add("core.scionMsgs", 1)
+	}
+	rep.Table.AddInterStub(stub)
+}
+
+// scionHost picks the node that will hold the scion for a reference into
+// bunch tb: the bunch's creator if it still holds a replica, else the
+// lowest-numbered replica holder.
+func (c *Collector) scionHost(tb addr.BunchID) addr.NodeID {
+	if creator := c.dir.Creator(tb); c.dir.HasReplica(tb, creator) {
+		return creator
+	}
+	reps := c.dir.Replicas(tb)
+	if len(reps) == 0 {
+		panic(fmt.Sprintf("core: bunch %v has no replica to host a scion", tb))
+	}
+	return reps[0]
+}
+
+// NoteWrite records a mutation for the concurrent collector's log (O'Toole:
+// writes during the collection are replayed at the flip).
+func (c *Collector) NoteWrite(o addr.OID) {
+	b := c.dir.BunchOf(o)
+	if rep, ok := c.reps[b]; ok && rep.gcActive {
+		rep.writeLog[o] = true
+	}
+}
+
+// ---- Pending location updates (§4.4) ---------------------------------------
+
+// queueLocation records that o now lives at newAddr, to be told to every
+// other node holding a replica of the bunch — lazily, by piggybacking.
+func (c *Collector) queueLocation(o addr.OID, b addr.BunchID, newAddr addr.Addr, size int) {
+	man := dsm.Manifest{OID: o, Addr: newAddr, Size: size, Bunch: b, Epoch: c.locEpoch[o]}
+	for _, peer := range c.dir.Holders(b) {
+		if peer == c.node {
+			continue
+		}
+		q, ok := c.pending[peer]
+		if !ok {
+			q = make(map[addr.OID]dsm.Manifest)
+			c.pending[peer] = q
+		}
+		q[o] = man // newer location supersedes older pending one
+	}
+}
+
+// PendingLocationCount returns the number of queued (peer, object) location
+// updates awaiting piggyback or flush.
+func (c *Collector) PendingLocationCount() int {
+	n := 0
+	for _, q := range c.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// FlushLocations pushes all queued location updates as explicit background
+// GC messages instead of waiting for consistency traffic to carry them.
+// Used by the from-space reuse protocol and by the eager-update ablation.
+func (c *Collector) FlushLocations() {
+	for _, peer := range sortedNodeKeys(c.pending) {
+		q := c.pending[peer]
+		if len(q) == 0 {
+			continue
+		}
+		ms := manifestList(q)
+		delete(c.pending, peer)
+		bytes := 0
+		for _, m := range ms {
+			bytes += m.WireBytes()
+		}
+		c.net.Send(simnet.Msg{
+			From: c.node, To: peer, Kind: KindLocFlush, Class: simnet.ClassGC,
+			Payload: LocFlushMsg{From: c.node, Manifests: ms}, Bytes: bytes,
+		})
+		c.stats().Add("core.locFlush.msgs", 1)
+	}
+}
+
+func sortedNodeKeys(m map[addr.NodeID]map[addr.OID]dsm.Manifest) []addr.NodeID {
+	out := make([]addr.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func manifestList(q map[addr.OID]dsm.Manifest) []dsm.Manifest {
+	out := make([]dsm.Manifest, 0, len(q))
+	for _, m := range q {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	return out
+}

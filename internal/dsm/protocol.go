@@ -1,0 +1,439 @@
+package dsm
+
+import (
+	"fmt"
+
+	"bmx/internal/addr"
+	"bmx/internal/simnet"
+)
+
+// Message kinds. The cluster routes incoming messages with these prefixes to
+// the DSM layer.
+const (
+	KindAcquire    = "dsm.acquire"
+	KindInvalidate = "dsm.invalidate"
+	KindLocUpdate  = "dsm.locUpdate"
+)
+
+// acquireReq travels along the ownerPtr chain until it reaches a node able
+// to grant the requested token.
+type acquireReq struct {
+	O         addr.OID
+	Mode      Mode
+	Requester addr.NodeID
+	// RequesterGen is the requester's next table generation for the
+	// object's bunch; it stamps entering-ownerPtr entries and intra-bunch
+	// scions created on the requester's behalf (see ssp.CreatedGen).
+	RequesterGen uint64
+	Class        simnet.Class
+	Hops         int
+	// Piggyback carries the requester's pending location updates for the
+	// first node on the chain — GC information riding on a consistency
+	// message (§4.4), costing no extra message.
+	Piggyback []Manifest
+}
+
+// acquireReply returns the token, the object image, and everything the
+// invariants of §5 require.
+type acquireReply struct {
+	Image     ObjectImage
+	Manifests []Manifest   // invariant 1 + opportunistic pending updates
+	Intra     *IntraSSPReq // invariant 3 (write grants only)
+	Granter   addr.NodeID
+	// Path lists the nodes that repointed their ownerPtr at the requester
+	// while the write request travelled the chain (Li's algorithm); the
+	// requester records an entering ownerPtr for each.
+	Path []PathEntry
+}
+
+type invalidateReq struct {
+	O     addr.OID
+	Class simnet.Class
+}
+
+// LocMsg carries location updates pushed down a distributed copy-set
+// (invariant 2).
+type LocMsg struct {
+	O         addr.OID
+	From      addr.NodeID
+	Manifests []Manifest
+}
+
+// Node is one site's DSM protocol engine.
+type Node struct {
+	id       addr.NodeID
+	net      *simnet.Network
+	hooks    Hooks
+	objs     map[addr.OID]*ObjState
+	protocol Protocol
+
+	maxHops int
+}
+
+// NewNode creates the protocol engine for node id. The caller is responsible
+// for routing "dsm.*" messages from the network to HandleCall/HandleAsync.
+func NewNode(id addr.NodeID, net *simnet.Network, hooks Hooks, clusterSize int) *Node {
+	return &Node{
+		id:      id,
+		net:     net,
+		hooks:   hooks,
+		objs:    make(map[addr.OID]*ObjState),
+		maxHops: 2*clusterSize + 4,
+	}
+}
+
+// SetProtocol selects the consistency protocol variant. Call before any
+// traffic; all nodes of a cluster must agree.
+func (n *Node) SetProtocol(p Protocol) { n.protocol = p }
+
+// ProtocolVariant returns the protocol in use.
+func (n *Node) ProtocolVariant() Protocol { return n.protocol }
+
+// ID returns this node's identifier.
+func (n *Node) ID() addr.NodeID { return n.id }
+
+func (n *Node) stats() *simnet.Stats { return n.net.Stats() }
+
+// Acquire obtains a read or write token for o on behalf of class (the
+// application, or — only ever in the baseline collectors — the GC). On
+// return the three invariants of §5 hold at this node.
+func (n *Node) Acquire(o addr.OID, mode Mode, class simnet.Class) error {
+	if mode != ModeRead && mode != ModeWrite {
+		return fmt.Errorf("dsm: invalid acquire mode %v", mode)
+	}
+	st := n.state(o)
+	n.stats().Add(fmt.Sprintf("dsm.acquire.%v.%v", mode, class), 1)
+
+	// Local fast paths: token already cached (entry consistency keeps
+	// tokens until someone else pulls them). The strict protocol never
+	// caches read tokens at non-owners, so its reads always revalidate.
+	if mode == ModeRead && st.Mode >= ModeRead && (n.protocol == ProtocolEntry || st.Owner) {
+		return nil
+	}
+	if st.Owner {
+		if mode == ModeWrite {
+			// Upgrading owner: revoke outstanding read tokens.
+			n.invalidateCopySet(o, st, class)
+			st.Mode = ModeWrite
+			return nil
+		}
+		// Owner always has a consistent copy.
+		if st.Mode == ModeInvalid {
+			st.Mode = ModeRead
+		}
+		return nil
+	}
+
+	target := st.OwnerPtr
+	if target == addr.NoNode {
+		return fmt.Errorf("dsm: %v has no route to the owner of %v", n.id, o)
+	}
+	if target == n.id {
+		// The chain starts at this node's own allocation-site hint but the
+		// local route is gone (the replica was reclaimed here). Try any
+		// other holder of the bunch before declaring the handle dangling.
+		target = n.hooks.RouteFallback(o)
+		if target == addr.NoNode || target == n.id {
+			return fmt.Errorf("dsm: %v holds a dangling handle to reclaimed object %v", n.id, o)
+		}
+		st.OwnerPtr = target
+	}
+	req := acquireReq{
+		O:            o,
+		Mode:         mode,
+		Requester:    n.id,
+		RequesterGen: n.hooks.NextTableGen(st.Bunch),
+		Class:        class,
+		Piggyback:    n.hooks.TakePendingManifests(target),
+	}
+	pb := 0
+	for _, m := range req.Piggyback {
+		pb += m.WireBytes()
+	}
+	raw, err := n.net.Call(simnet.Msg{
+		From: n.id, To: target, Kind: KindAcquire, Class: class,
+		Payload: req, Bytes: 32 + pb, Piggyback: pb,
+	})
+	if err != nil {
+		// The chain failed — stale hint edges (from manifests) can form
+		// cycles among non-owners that the transfer edges never do. Retry
+		// once through the manager's probable owner, which is on a sound
+		// transfer chain by construction.
+		hint := n.hooks.OwnerHint(o)
+		if hint == addr.NoNode || hint == n.id || hint == target {
+			return err
+		}
+		n.stats().Add("dsm.rerouted", 1)
+		st.OwnerPtr = hint
+		req.Hops = 0
+		req.Piggyback = n.hooks.TakePendingManifests(hint)
+		raw, err = n.net.Call(simnet.Msg{
+			From: n.id, To: hint, Kind: KindAcquire, Class: class,
+			Payload: req, Bytes: 32, Piggyback: 0,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	rep := raw.(acquireReply)
+
+	// Invariant 1: addresses become valid before the acquire completes.
+	n.hooks.ApplyManifests(rep.Manifests, rep.Granter)
+	n.hooks.InstallImage(rep.Image, rep.Granter)
+	if rep.Intra != nil {
+		// Invariant 3: the new owner's intra-bunch stub.
+		n.hooks.ApplyIntraSSP(rep.Intra)
+	}
+
+	st.RoutingOnly = false // a token makes this a real replica again
+	if mode == ModeWrite {
+		st.Mode = ModeWrite
+		st.Owner = true
+		st.OwnerPtr = addr.NoNode
+		st.CopySet = make(map[addr.NodeID]bool)
+		for _, pe := range rep.Path {
+			if pe.Node != n.id {
+				st.Entering[pe.Node] = pe.Gen
+			}
+		}
+		n.hooks.OnOwnershipAcquired(o)
+	} else {
+		st.Mode = ModeRead
+		st.Owner = false
+		st.OwnerPtr = rep.Granter
+	}
+
+	// Invariant 2: push the location updates down the local copy-set.
+	n.forwardManifests(o, rep.Manifests, class)
+	return nil
+}
+
+// Release marks the end of a critical section. Under entry consistency the
+// token stays cached locally until another node acquires it, so no message
+// is sent. Under the strict protocol a non-owner's read token is dropped:
+// the next read revalidates.
+func (n *Node) Release(o addr.OID) {
+	n.stats().Add("dsm.release", 1)
+	if n.protocol == ProtocolStrict {
+		if st, ok := n.objs[o]; ok && !st.Owner && st.Mode == ModeRead {
+			st.Mode = ModeInvalid
+		}
+	}
+}
+
+// HandleCall serves synchronous DSM requests routed from the network.
+func (n *Node) HandleCall(m simnet.Msg) (any, int, error) {
+	switch m.Kind {
+	case KindAcquire:
+		req := m.Payload.(acquireReq)
+		if len(req.Piggyback) > 0 {
+			n.hooks.ApplyManifests(req.Piggyback, req.Requester)
+		}
+		rep, err := n.serveAcquire(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		bytes := rep.Image.WireBytes()
+		pb := 0
+		for _, mf := range rep.Manifests {
+			pb += mf.WireBytes()
+		}
+		if rep.Intra != nil {
+			pb += 16
+		}
+		n.stats().Add("bytes.piggyback", int64(pb))
+		return rep, bytes + pb, nil
+	case KindInvalidate:
+		req := m.Payload.(invalidateReq)
+		n.serveInvalidate(req)
+		return nil, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("dsm: unknown call kind %q", m.Kind)
+	}
+}
+
+// HandleAsync consumes asynchronous DSM messages (copy-set location
+// forwarding).
+func (n *Node) HandleAsync(m simnet.Msg) {
+	switch m.Kind {
+	case KindLocUpdate:
+		lm := m.Payload.(LocMsg)
+		n.hooks.ApplyManifests(lm.Manifests, lm.From)
+		n.forwardManifests(lm.O, lm.Manifests, m.Class)
+	}
+}
+
+func (n *Node) serveAcquire(req acquireReq) (acquireReply, error) {
+	st := n.state(req.O)
+	switch {
+	case st.Owner:
+		return n.grantAsOwner(req, st)
+	case req.Mode == ModeRead && st.Mode >= ModeRead:
+		// A read token can be obtained from any node already holding one
+		// (§2.2); copy-sets stay distributed.
+		return n.grantRead(req, st), nil
+	default:
+		return n.forwardAcquire(req, st)
+	}
+}
+
+func (n *Node) forwardAcquire(req acquireReq, st *ObjState) (acquireReply, error) {
+	if req.Hops >= n.maxHops {
+		return acquireReply{}, fmt.Errorf("dsm: ownerPtr chain for %v exceeded %d hops", req.O, n.maxHops)
+	}
+	if st.OwnerPtr == addr.NoNode || st.OwnerPtr == n.id {
+		if alt := n.hooks.RouteFallback(req.O); alt != addr.NoNode && alt != n.id && alt != req.Requester {
+			st.OwnerPtr = alt
+		} else {
+			return acquireReply{}, fmt.Errorf("dsm: %v cannot route %v request for %v (object reclaimed here)",
+				n.id, req.Mode, req.O)
+		}
+	}
+	fwd := req
+	fwd.Hops++
+	fwd.Piggyback = n.hooks.TakePendingManifests(st.OwnerPtr)
+	n.stats().Add("dsm.forwards", 1)
+	raw, err := n.net.Call(simnet.Msg{
+		From: n.id, To: st.OwnerPtr, Kind: KindAcquire, Class: req.Class,
+		Payload: fwd, Bytes: 32,
+	})
+	if err != nil {
+		return acquireReply{}, err
+	}
+	rep := raw.(acquireReply)
+	if req.Mode == ModeWrite {
+		// Li's dynamic distributed manager: nodes along the path repoint
+		// their ownerPtr at the requester, shortening future chains. Each
+		// reports itself so the new owner records the entering ownerPtr.
+		st.OwnerPtr = req.Requester
+		rep.Path = append(rep.Path, PathEntry{Node: n.id, Gen: n.hooks.NextTableGen(st.Bunch)})
+	}
+	return rep, nil
+}
+
+func (n *Node) grantAsOwner(req acquireReq, st *ObjState) (acquireReply, error) {
+	if req.Mode == ModeRead {
+		if st.Mode == ModeWrite {
+			// Granting a read downgrades the writer; ownership stays.
+			st.Mode = ModeRead
+		}
+		return n.grantRead(req, st), nil
+	}
+
+	// Write grant: revoke all outstanding read tokens first, so possession
+	// of the write token means no other consistent copy exists (§2.2).
+	n.invalidateCopySet(req.O, st, req.Class)
+
+	// Invariant 3: create the intra-bunch scion (if this node holds stubs
+	// for the object) before replying with the token.
+	intra := n.hooks.PrepareOwnershipTransfer(req.O, req.Requester, req.RequesterGen)
+
+	rep := acquireReply{
+		Image: n.hooks.ObjectImage(req.O),
+		// Invariant 1 manifests plus any location updates queued for the
+		// requester — riding the grant costs no extra message (§4.4).
+		Manifests: append(n.hooks.GrantManifests(req.O),
+			n.hooks.TakePendingManifests(req.Requester)...),
+		Intra:   intra,
+		Granter: n.id,
+		Path:    []PathEntry{{Node: n.id, Gen: n.hooks.NextTableGen(st.Bunch)}},
+	}
+	n.recordManifestEntering(rep.Manifests, req)
+	st.Owner = false
+	st.Mode = ModeInvalid
+	st.OwnerPtr = req.Requester
+	st.CopySet = make(map[addr.NodeID]bool)
+	// The requester now owns the object, so its replica no longer points
+	// here: any entering entry recorded for it is obsolete.
+	delete(st.Entering, req.Requester)
+	n.stats().Add("dsm.grant.write", 1)
+	return rep, nil
+}
+
+func (n *Node) grantRead(req acquireReq, st *ObjState) acquireReply {
+	// The copy-set is tracked under every protocol: a reader inside its
+	// critical section must be invalidated by a writer. What the strict
+	// protocol removes is caching ACROSS critical sections (Release drops
+	// the token), not the invalidation machinery.
+	st.CopySet[req.Requester] = true
+	st.Entering[req.Requester] = req.RequesterGen
+	n.stats().Add("dsm.grant.read", 1)
+	rep := acquireReply{
+		Image: n.hooks.ObjectImage(req.O),
+		Manifests: append(n.hooks.GrantManifests(req.O),
+			n.hooks.TakePendingManifests(req.Requester)...),
+		Granter: n.id,
+	}
+	n.recordManifestEntering(rep.Manifests, req)
+	return rep
+}
+
+// recordManifestEntering pins every object whose manifest we just shipped:
+// if the requester had no state for it, its ownerPtr now points here, so an
+// entering entry must exist at this node or the requester's routing chain
+// could dangle after a local collection. Spurious entries (the requester
+// already routed elsewhere) are retired by the requester's next
+// reachability table.
+func (n *Node) recordManifestEntering(ms []Manifest, req acquireReq) {
+	for _, m := range ms {
+		if m.OID == req.O {
+			continue // the granted object's entry is handled by the grant itself
+		}
+		st := n.state(m.OID)
+		if _, ok := st.Entering[req.Requester]; !ok {
+			st.Entering[req.Requester] = req.RequesterGen
+		}
+	}
+}
+
+func (n *Node) serveInvalidate(req invalidateReq) {
+	st := n.state(req.O)
+	n.invalidateCopySet(req.O, st, req.Class)
+	if !st.Owner {
+		st.Mode = ModeInvalid
+	}
+	n.stats().Add(fmt.Sprintf("dsm.invalidated.%v", req.Class), 1)
+}
+
+// invalidateCopySet revokes the read tokens this node granted, recursively
+// down the distributed copy-set tree.
+func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class simnet.Class) {
+	for _, c := range sortedNodes(st.CopySet) {
+		n.stats().Add(fmt.Sprintf("dsm.invalidation.%v", class), 1)
+		// Invalidations are synchronous: the write grant must not
+		// complete while consistent read copies remain.
+		if _, err := n.net.Call(simnet.Msg{
+			From: n.id, To: c, Kind: KindInvalidate, Class: class,
+			Payload: invalidateReq{O: o, Class: class}, Bytes: 16,
+		}); err != nil {
+			// The simulated network cannot fail synchronous calls to
+			// registered nodes; an error here is a wiring bug.
+			panic(fmt.Sprintf("dsm: invalidate %v at %v: %v", o, c, err))
+		}
+	}
+	st.CopySet = make(map[addr.NodeID]bool)
+}
+
+// forwardManifests implements invariant 2: location updates received for o
+// are pushed to every node in the local copy-set, the same fan-out used to
+// invalidate read copies.
+func (n *Node) forwardManifests(o addr.OID, ms []Manifest, class simnet.Class) {
+	if len(ms) == 0 {
+		return
+	}
+	st, ok := n.objs[o]
+	if !ok || len(st.CopySet) == 0 {
+		return
+	}
+	pb := 0
+	for _, m := range ms {
+		pb += m.WireBytes()
+	}
+	for _, c := range sortedNodes(st.CopySet) {
+		n.net.Send(simnet.Msg{
+			From: n.id, To: c, Kind: KindLocUpdate, Class: class,
+			Payload: LocMsg{O: o, From: n.id, Manifests: ms},
+			Bytes:   8 + pb, Piggyback: pb,
+		})
+	}
+}

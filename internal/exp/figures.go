@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"bmx/internal/cluster"
+	"bmx/internal/core"
+	"bmx/internal/dsm"
+)
+
+// Figure runners: the same scenarios the test suite drives
+// (figures_test.go at the repository root), packaged as checkable tables so
+// `bmxbench` regenerates every artifact in DESIGN.md's index. Each check
+// mirrors a statement of the figure or its caption.
+
+func figCluster(nodes int) *cluster.Cluster {
+	return cluster.New(cluster.Config{Nodes: nodes, SegWords: 64, Seed: 1, Costs: core.DefaultCosts()})
+}
+
+// RunF1 reproduces Figure 1: bunches, token letters, the single inter-bunch
+// stub, and the intra-bunch SSP created by the ownership move.
+func RunF1() Table {
+	t := Table{
+		ID:     "F1",
+		Title:  "Figure 1: B1 on N1+N2, B2 on N3; O3->O5 created at N2; O3's token moved to N1",
+		Claim:  "§3.1/§3.2 and Figure 1's caption",
+		Header: []string{"assertion", "holds"},
+		Shape:  "every state the figure draws",
+	}
+	cl := figCluster(3)
+	n1, n2, n3 := cl.Node(0), cl.Node(1), cl.Node(2)
+	b1 := n1.NewBunch()
+	b2 := n3.NewBunch()
+	o1 := n1.MustAlloc(b1, 2)
+	o3 := n1.MustAlloc(b1, 2)
+	o5 := n3.MustAlloc(b2, 1)
+	n1.AddRoot(o1)
+	n3.AddRoot(o5)
+	must(n1.WriteRef(o1, 0, o3))
+	must(n2.MapBunch(b1))
+	must(n2.AcquireWrite(o3))
+	must(n2.AcquireRead(o5))
+	must(n2.WriteRef(o3, 0, o5))
+	must(n1.AcquireWrite(o3))
+
+	ok := true
+	add := func(name string, holds bool) {
+		t.AddRow(name, holds)
+		ok = ok && holds
+	}
+	add("O3 at N1 is w/o (owner with write token)",
+		n1.Mode(o3) == dsm.ModeWrite && n1.IsOwner(o3))
+	add("O3 at N2 is i (inconsistent copy)",
+		n2.Mode(o3) == dsm.ModeInvalid && !n2.IsOwner(o3))
+	stubs2 := n2.Collector().Replica(b1).Table.InterStubList()
+	add("exactly one inter-bunch stub, held at N2",
+		len(stubs2) == 1 && len(n1.Collector().Replica(b1).Table.InterStubList()) == 0)
+	add("its scion lives at N3 in B2",
+		len(n3.Collector().Replica(b2).Table.InterScionList()) == 1)
+	add("intra-bunch stub at new owner N1",
+		len(n1.Collector().Replica(b1).Table.IntraStubList()) == 1)
+	add("intra-bunch scion at old owner N2",
+		len(n2.Collector().Replica(b1).Table.IntraScionList()) == 1)
+	t.Pass = ok
+	return t
+}
+
+// RunF2 reproduces Figure 2: the BGC at N2 copies only the locally-owned
+// object and the lazy location update.
+func RunF2() Table {
+	t := Table{
+		ID:     "F2",
+		Title:  "Figure 2: BGC at N2 with O1->O2->O3; N1 owns O1,O3; N2 owns O2",
+		Claim:  "§4.2/§4.4 and Figure 2's caption",
+		Header: []string{"assertion", "holds"},
+		Shape:  "copy-owned/scan-unowned, forwarding pointer, lazy piggybacked update",
+	}
+	cl := figCluster(2)
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b := n1.NewBunch()
+	o1 := n1.MustAlloc(b, 2)
+	o2 := n1.MustAlloc(b, 2)
+	o3 := n1.MustAlloc(b, 2)
+	n1.AddRoot(o1)
+	must(n1.WriteRef(o1, 0, o2))
+	must(n1.WriteRef(o2, 0, o3))
+	must(n2.MapBunch(b))
+	n2.AddRoot(o1)
+	must(n2.AcquireWrite(o2))
+
+	heap2 := n2.Collector().Heap()
+	oldO2, _ := heap2.Canonical(o2.OID)
+	st := n2.CollectBunch(b)
+	newO2, _ := heap2.Canonical(o2.OID)
+	n1O2Before, _ := n1.Collector().Heap().Canonical(o2.OID)
+	gcMsgs := cl.Stats().Get("msg.sent.gc")
+	must(n1.AcquireRead(o2))
+	n1O2After, _ := n1.Collector().Heap().Canonical(o2.OID)
+	gcMsgsAfter := cl.Stats().Get("msg.sent.gc")
+
+	ok := true
+	add := func(name string, holds bool) {
+		t.AddRow(name, holds)
+		ok = ok && holds
+	}
+	add("BGC copied exactly the locally-owned O2", st.Copied == 1)
+	add("all three objects scanned live", st.LiveStrong == 3)
+	add("forwarding pointer left in O2's old header",
+		heap2.Forwarded(oldO2) && heap2.Fwd(oldO2) == newO2)
+	add("N1 not informed before synchronizing", n1O2Before == oldO2)
+	add("N1 learned the new address at its next acquire", n1O2After == newO2)
+	add("the update used zero extra GC messages", gcMsgsAfter == gcMsgs)
+	t.Pass = ok
+	return t
+}
+
+// RunF3 reproduces Figure 3: the write-token acquire cases.
+func RunF3() Table {
+	t := Table{
+		ID:     "F3",
+		Title:  "Figure 3: write-token acquire cases (a)-(d) after collections",
+		Claim:  "§5's invariants and Figure 3's caption",
+		Header: []string{"case", "addresses valid at acquirer", "reference chain intact"},
+		Shape:  "the acquire completes only after all addresses are valid (invariant 1)",
+	}
+	ok := true
+	run := func(name string, collectAtGranter, collectAtAcquirer bool) {
+		cl := figCluster(2)
+		n1, n2 := cl.Node(0), cl.Node(1)
+		b := n1.NewBunch()
+		o1 := n1.MustAlloc(b, 2)
+		o2 := n1.MustAlloc(b, 2)
+		n1.AddRoot(o1)
+		must(n1.WriteRef(o1, 0, o2))
+		must(n2.MapBunch(b))
+		n2.AddRoot(o1)
+		must(n2.AcquireRead(o1))
+		must(n2.AcquireRead(o2))
+		if collectAtAcquirer {
+			must(n2.AcquireWrite(o2))
+			n2.CollectBunch(b)
+		}
+		if collectAtGranter {
+			n1.CollectBunch(b)
+		}
+		must(n2.AcquireWrite(o1))
+		// Invariant 1: every address valid, chain readable.
+		a1, ok1 := n2.Collector().Heap().Canonical(o1.OID)
+		_, ok2 := n2.Collector().Heap().Canonical(o2.OID)
+		heap := n2.Collector().Heap()
+		valid := ok1 && ok2 && heap.Mapped(heap.Resolve(a1))
+		r, err := n2.ReadRef(o1, 0)
+		chain := err == nil && r.OID == o2.OID
+		t.AddRow(name, valid, chain)
+		ok = ok && valid && chain
+	}
+	run("(a) nothing copied anywhere", false, false)
+	run("(b)+(c) O1,O2 copied at granter N1", true, false)
+	run("(d) O2 copied at acquirer N2", false, true)
+	t.Pass = ok
+	return t
+}
+
+// RunF4 reproduces Figure 4: the §6.2 deletion chain.
+func RunF4() Table {
+	t := Table{
+		ID:     "F4",
+		Title:  "Figure 4: O1 on N1,N2,N3; owner N2; the §6.2 deletion chain",
+		Claim:  "§6.2's walk-through",
+		Header: []string{"step", "holds"},
+		Shape:  "reclamation order N1 -> N2 -> N3, SSPs retired in sequence",
+	}
+	cl := figCluster(3)
+	n1, n2, n3 := cl.Node(0), cl.Node(1), cl.Node(2)
+	bOther := n1.NewBunch()
+	other := n1.MustAlloc(bOther, 1)
+	n1.AddRoot(other)
+	b := n3.NewBunch()
+	o1 := n3.MustAlloc(b, 1)
+	must(n3.AcquireRead(other))
+	must(n3.WriteRef(o1, 0, other))
+	must(n2.MapBunch(b))
+	must(n2.AcquireWrite(o1))
+	must(n1.MapBunch(b))
+	must(n1.AcquireRead(o1))
+	n1.AddRoot(o1)
+
+	present := func(n *cluster.Node) bool {
+		_, ok := n.Collector().Heap().Canonical(o1.OID)
+		return ok
+	}
+	ok := true
+	add := func(name string, holds bool) {
+		t.AddRow(name, holds)
+		ok = ok && holds
+	}
+	n3.CollectBunch(b)
+	cl.Run(0)
+	add("after BGC at N3: O1 survives via the intra-bunch scion", present(n3))
+	n1.RemoveRoot(o1)
+	n1.CollectBunch(b)
+	cl.Run(0)
+	add("after root deletion + BGC at N1: O1 reclaimed at N1", !present(n1))
+	n2.CollectBunch(b)
+	cl.Run(0)
+	add("after BGC at N2: O1 reclaimed at the owner", !present(n2))
+	add("intra-bunch scion retired at N3",
+		len(n3.Collector().Replica(b).Table.IntraScionList()) == 0)
+	n3.CollectBunch(b)
+	cl.Run(0)
+	add("after BGC at N3: the last replica reclaimed", !present(n3))
+	t.Pass = ok
+	return t
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package rvm provides lightweight recoverable virtual memory in the style
+// of Satyanarayanan et al., which the BMX prototype uses for recovery (§2.1,
+// §8): simple redo-log transactions with no nesting, distribution or
+// concurrency control. Modified address ranges of mapped segments are
+// recorded in a transaction; at commit the new values and a commit marker
+// are forced to the log; recovery replays the records of committed
+// transactions, in log order, over the segment files.
+//
+// Following O'Toole et al. (§8), the collector's from-space and to-space are
+// each backed by a (simulated) file, and changes to mapped segments reach
+// disk atomically through this log.
+package rvm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"bmx/internal/addr"
+	"bmx/internal/mem"
+	"bmx/internal/store"
+)
+
+// Record is one logged range update: words written at a word offset within a
+// segment.
+type Record struct {
+	Tx    uint64
+	Seg   addr.SegID
+	Off   int
+	Words []uint64
+	// RefBit marks a reference-map update record: Words[0] is 0 or 1 and
+	// Off is the word offset whose reference-map bit takes that value.
+	RefBit bool
+}
+
+const (
+	tagRange  byte = 'R'
+	tagRefBit byte = 'B'
+	tagCommit byte = 'C'
+)
+
+// Log is a node's recoverable-memory redo log backed by one disk file.
+type Log struct {
+	disk *store.Disk
+	name string
+
+	mu     sync.Mutex
+	nextTx uint64
+}
+
+// NewLog opens (or creates) the log named name on disk.
+func NewLog(disk *store.Disk, name string) *Log {
+	return &Log{disk: disk, name: name, nextTx: 1}
+}
+
+// Begin starts a transaction.
+func (l *Log) Begin() *Tx {
+	l.mu.Lock()
+	id := l.nextTx
+	l.nextTx++
+	l.mu.Unlock()
+	return &Tx{log: l, id: id}
+}
+
+// Truncate discards the log contents, typically after a checkpoint has made
+// the logged state durable elsewhere.
+func (l *Log) Truncate() {
+	l.disk.Write(l.name, nil)
+	l.disk.Sync(l.name)
+}
+
+// Recover scans the durable log and returns the records of committed
+// transactions in log order. A torn tail (partially written final record)
+// terminates the scan, mirroring a real redo log.
+func (l *Log) Recover() []Record {
+	data, ok := l.disk.ReadDurable(l.name)
+	if !ok {
+		return nil
+	}
+	var (
+		records   []Record
+		committed = make(map[uint64]bool)
+	)
+	// First pass: find commit markers.
+	forEachRecord(data, func(tag byte, r Record) {
+		if tag == tagCommit {
+			committed[r.Tx] = true
+		}
+	})
+	// Second pass: collect committed range records in order.
+	forEachRecord(data, func(tag byte, r Record) {
+		if (tag == tagRange || tag == tagRefBit) && committed[r.Tx] {
+			records = append(records, r)
+		}
+	})
+	return records
+}
+
+func forEachRecord(data []byte, f func(tag byte, r Record)) {
+	buf := bytes.NewReader(data)
+	for buf.Len() > 0 {
+		tag, err := buf.ReadByte()
+		if err != nil {
+			return
+		}
+		var tx uint64
+		if err := binary.Read(buf, binary.LittleEndian, &tx); err != nil {
+			return
+		}
+		switch tag {
+		case tagCommit:
+			f(tagCommit, Record{Tx: tx})
+		case tagRange, tagRefBit:
+			var seg, off, n uint32
+			if err := binary.Read(buf, binary.LittleEndian, &seg); err != nil {
+				return
+			}
+			if err := binary.Read(buf, binary.LittleEndian, &off); err != nil {
+				return
+			}
+			if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
+				return
+			}
+			if int(n) > buf.Len()/8 {
+				return // torn or corrupt length: stop at the damage
+			}
+			words := make([]uint64, n)
+			if err := binary.Read(buf, binary.LittleEndian, &words); err != nil {
+				return // torn record: stop
+			}
+			f(tag, Record{
+				Tx: tx, Seg: addr.SegID(seg), Off: int(off),
+				Words: words, RefBit: tag == tagRefBit,
+			})
+		default:
+			return // corrupt log: stop at the damage
+		}
+	}
+}
+
+// Tx is a recoverable transaction. SetRange records new values; Commit
+// forces them to the log; Abort drops them. A transaction that is neither
+// committed nor aborted before a crash has no effect after recovery.
+type Tx struct {
+	log  *Log
+	id   uint64
+	buf  bytes.Buffer
+	done bool
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// SetRange records that words were written at word offset off of segment
+// seg.
+func (tx *Tx) SetRange(seg addr.SegID, off int, words []uint64) {
+	tx.record(tagRange, seg, off, words)
+}
+
+// SetRefBit records that the reference-map bit at word offset off of
+// segment seg now has value v (the reference map is part of the recoverable
+// bunch state, §8).
+func (tx *Tx) SetRefBit(seg addr.SegID, off int, v bool) {
+	w := uint64(0)
+	if v {
+		w = 1
+	}
+	tx.record(tagRefBit, seg, off, []uint64{w})
+}
+
+func (tx *Tx) record(tag byte, seg addr.SegID, off int, words []uint64) {
+	if tx.done {
+		panic("rvm: record on a finished transaction")
+	}
+	tx.buf.WriteByte(tag)
+	binary.Write(&tx.buf, binary.LittleEndian, tx.id)
+	binary.Write(&tx.buf, binary.LittleEndian, uint32(seg))
+	binary.Write(&tx.buf, binary.LittleEndian, uint32(off))
+	binary.Write(&tx.buf, binary.LittleEndian, uint32(len(words)))
+	binary.Write(&tx.buf, binary.LittleEndian, words)
+}
+
+// Commit appends the transaction's records and a commit marker to the log
+// and forces the log to disk. After Commit returns, the updates survive any
+// crash.
+func (tx *Tx) Commit() {
+	if tx.done {
+		panic("rvm: Commit on a finished transaction")
+	}
+	tx.done = true
+	tx.buf.WriteByte(tagCommit)
+	binary.Write(&tx.buf, binary.LittleEndian, tx.id)
+	tx.log.disk.Append(tx.log.name, tx.buf.Bytes())
+	tx.log.disk.Sync(tx.log.name)
+}
+
+// WriteNoSync appends the transaction's records and commit marker to the log
+// WITHOUT forcing it to disk. It exists to demonstrate what recovery does
+// when a crash intervenes before the force (the transaction must vanish).
+func (tx *Tx) WriteNoSync() {
+	if tx.done {
+		panic("rvm: WriteNoSync on a finished transaction")
+	}
+	tx.done = true
+	tx.buf.WriteByte(tagCommit)
+	binary.Write(&tx.buf, binary.LittleEndian, tx.id)
+	tx.log.disk.Append(tx.log.name, tx.buf.Bytes())
+}
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() { tx.done = true }
+
+// ---- Segment checkpoint files ---------------------------------------------
+
+// SegmentFile is the disk name backing segment id (§8: each segment is
+// associated with a file).
+func SegmentFile(id addr.SegID) string { return fmt.Sprintf("seg-%d", uint32(id)) }
+
+// WriteSegment checkpoints a segment image to its backing file and forces
+// it.
+func WriteSegment(d *store.Disk, id addr.SegID, words []uint64) {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	name := SegmentFile(id)
+	d.Write(name, buf)
+	d.Sync(name)
+}
+
+// ReadSegment loads a segment image from its backing file.
+func ReadSegment(d *store.Disk, id addr.SegID) ([]uint64, bool) {
+	data, ok := d.Read(SegmentFile(id))
+	if !ok || len(data)%8 != 0 {
+		return nil, false
+	}
+	words := make([]uint64, len(data)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return words, true
+}
+
+// ---- Full segment images (words + object-map + reference-map) -------------
+
+// ImageFile is the disk name backing the full image of segment id.
+func ImageFile(id addr.SegID) string { return fmt.Sprintf("segimg-%d", uint32(id)) }
+
+func putWords(buf []byte, words []uint64) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(words)))
+	buf = append(buf, n[:]...)
+	for _, w := range words {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w)
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+func getWords(data []byte) ([]uint64, []byte, bool) {
+	if len(data) < 4 {
+		return nil, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < 8*n {
+		return nil, nil, false
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return words, data[8*n:], true
+}
+
+// WriteImage checkpoints a full segment image (words, object-map,
+// reference-map, allocation offset) to its backing file and forces it.
+func WriteImage(d *store.Disk, img mem.SegImage) {
+	buf := make([]byte, 0, 16+8*(len(img.Words)+len(img.ObjBits)+len(img.RefBits)))
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(img.ID))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(img.Bunch))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(img.AllocOff))
+	buf = append(buf, hdr[:]...)
+	buf = putWords(buf, img.Words)
+	buf = putWords(buf, img.ObjBits)
+	buf = putWords(buf, img.RefBits)
+	name := ImageFile(img.ID)
+	d.Write(name, buf)
+	d.Sync(name)
+}
+
+// ReadImage loads a full segment image from its backing file.
+func ReadImage(d *store.Disk, id addr.SegID) (mem.SegImage, bool) {
+	data, ok := d.Read(ImageFile(id))
+	if !ok || len(data) < 12 {
+		return mem.SegImage{}, false
+	}
+	img := mem.SegImage{
+		ID:       addr.SegID(binary.LittleEndian.Uint32(data[:4])),
+		Bunch:    addr.BunchID(binary.LittleEndian.Uint32(data[4:8])),
+		AllocOff: int(binary.LittleEndian.Uint32(data[8:12])),
+	}
+	rest := data[12:]
+	if img.Words, rest, ok = getWords(rest); !ok {
+		return mem.SegImage{}, false
+	}
+	if img.ObjBits, rest, ok = getWords(rest); !ok {
+		return mem.SegImage{}, false
+	}
+	if img.RefBits, _, ok = getWords(rest); !ok {
+		return mem.SegImage{}, false
+	}
+	return img, true
+}

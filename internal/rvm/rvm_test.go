@@ -1,0 +1,178 @@
+package rvm
+
+import (
+	"testing"
+
+	"bmx/internal/addr"
+	"bmx/internal/store"
+)
+
+func TestCommitRecover(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.SetRange(3, 10, []uint64{1, 2, 3})
+	tx.SetRange(3, 20, []uint64{9})
+	tx.Commit()
+
+	d.Crash()
+	recs := NewLog(d, "log").Recover()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(recs))
+	}
+	if recs[0].Seg != 3 || recs[0].Off != 10 || len(recs[0].Words) != 3 || recs[0].Words[2] != 3 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Off != 20 || recs[1].Words[0] != 9 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+}
+
+func TestUncommittedInvisible(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.SetRange(1, 0, []uint64{42})
+	tx.WriteNoSync() // written to the page cache, never forced
+
+	d.Crash()
+	if recs := NewLog(d, "log").Recover(); len(recs) != 0 {
+		t.Fatalf("uncommitted transaction recovered: %v", recs)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.SetRange(1, 0, []uint64{42})
+	tx.Abort()
+	tx2 := l.Begin()
+	tx2.SetRange(1, 1, []uint64{7})
+	tx2.Commit()
+	recs := l.Recover()
+	if len(recs) != 1 || recs[0].Words[0] != 7 {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestMultipleTxOrder(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	for i := uint64(1); i <= 3; i++ {
+		tx := l.Begin()
+		tx.SetRange(0, int(i), []uint64{i})
+		tx.Commit()
+	}
+	recs := l.Recover()
+	if len(recs) != 3 {
+		t.Fatalf("recs = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Words[0] != uint64(i+1) {
+			t.Fatalf("out of order: %v", recs)
+		}
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.SetRange(0, 0, []uint64{1})
+	tx.Commit()
+	// Simulate a torn write: append garbage that looks like a record start.
+	d.Append("log", []byte{'R', 1, 2, 3})
+	d.Sync("log")
+	recs := l.Recover()
+	if len(recs) != 1 {
+		t.Fatalf("recs = %d, want 1 (torn tail must be ignored)", len(recs))
+	}
+}
+
+func TestCorruptTagStopsScan(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.SetRange(0, 0, []uint64{1})
+	tx.Commit()
+	d.Append("log", []byte{'X', 0, 0, 0, 0, 0, 0, 0, 0})
+	d.Sync("log")
+	if recs := l.Recover(); len(recs) != 1 {
+		t.Fatalf("recs = %d", len(recs))
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.SetRange(0, 0, []uint64{1})
+	tx.Commit()
+	l.Truncate()
+	d.Crash()
+	if recs := l.Recover(); len(recs) != 0 {
+		t.Fatalf("recs after truncate = %v", recs)
+	}
+}
+
+func TestFinishedTxPanics(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.Commit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tx.SetRange(0, 0, nil)
+}
+
+func TestTxIDsUnique(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	a, b := l.Begin(), l.Begin()
+	if a.ID() == b.ID() {
+		t.Fatal("duplicate tx ids")
+	}
+}
+
+func TestSegmentFileRoundTrip(t *testing.T) {
+	d := store.NewDisk()
+	words := []uint64{5, 6, 7, 1 << 60}
+	WriteSegment(d, 9, words)
+	d.Crash() // WriteSegment syncs, so the image survives
+	got, ok := ReadSegment(d, 9)
+	if !ok || len(got) != 4 || got[3] != 1<<60 {
+		t.Fatalf("ReadSegment = %v, %v", got, ok)
+	}
+	if _, ok := ReadSegment(d, addr.SegID(1234)); ok {
+		t.Fatal("missing segment should not read")
+	}
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	d := store.NewDisk()
+	if recs := NewLog(d, "log").Recover(); recs != nil {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestCrashMidSequenceKeepsPrefix(t *testing.T) {
+	// Transactions committed before the crash survive; the one after the
+	// last sync does not.
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	t1 := l.Begin()
+	t1.SetRange(0, 0, []uint64{1})
+	t1.Commit()
+	t2 := l.Begin()
+	t2.SetRange(0, 1, []uint64{2})
+	t2.WriteNoSync()
+	d.Crash()
+	recs := l.Recover()
+	if len(recs) != 1 || recs[0].Words[0] != 1 {
+		t.Fatalf("recs = %v", recs)
+	}
+}

@@ -1,0 +1,38 @@
+package simnet
+
+import "sync"
+
+// Clock is the simulated tick clock shared by a cluster. Message latencies
+// and garbage-collection work (per-word copy and scan costs) advance it, so
+// pause times and overheads are reproducible and hardware independent.
+type Clock struct {
+	mu sync.Mutex
+	t  uint64
+}
+
+// Now returns the current simulated time in ticks.
+func (c *Clock) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves simulated time forward by d ticks and returns the new time.
+func (c *Clock) Advance(d uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t += d
+	return c.t
+}
+
+// Stopwatch measures a simulated-time interval.
+type Stopwatch struct {
+	clock *Clock
+	start uint64
+}
+
+// StartWatch begins measuring simulated time on c.
+func StartWatch(c *Clock) Stopwatch { return Stopwatch{clock: c, start: c.Now()} }
+
+// Elapsed returns the simulated ticks since the stopwatch started.
+func (s Stopwatch) Elapsed() uint64 { return s.clock.Now() - s.start }

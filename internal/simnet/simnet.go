@@ -1,0 +1,267 @@
+// Package simnet is the message substrate of the simulated BMX cluster.
+//
+// The paper's system runs on a loosely coupled network of workstations. This
+// package reproduces the properties the GC design depends on, and nothing
+// more:
+//
+//   - Point-to-point FIFO: messages between a pair of nodes are delivered in
+//     the order sent (the scion cleaner requires FIFO, §6.1). FIFO is
+//     provided by per-pair queues; like the paper, it would be "easily
+//     guaranteed by numbering the messages" and each message carries its
+//     per-pair sequence number.
+//   - Unreliable background traffic: the GC explicitly does not require
+//     reliable communication (§6.1, idempotent table messages), so
+//     asynchronous sends may be dropped with a configurable probability.
+//   - Reliable synchronous calls: consistency-protocol operations performed
+//     on behalf of applications (token acquires and their replies) are
+//     synchronous request/reply exchanges.
+//   - Accounting: every message is tagged with a kind and a class
+//     (application vs. garbage collection) and carries a simulated payload
+//     size plus the number of piggybacked GC bytes, so the paper's central
+//     claims — the collector sends no extra messages, GC information rides
+//     on consistency messages — are measured, not assumed.
+//   - Simulated time: a tick clock charges per-message latency (and lets the
+//     collector charge per-word copy costs), giving reproducible pause and
+//     overhead figures.
+//
+// Delivery of asynchronous messages is driven explicitly (Step/Run), which
+// keeps every test and benchmark deterministic.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"bmx/internal/addr"
+)
+
+// Class attributes a message to the application or to the collector.
+type Class int
+
+const (
+	// ClassApp marks consistency-protocol traffic performed on behalf of
+	// applications (token requests, grants, invalidations).
+	ClassApp Class = iota
+	// ClassGC marks traffic that exists only for garbage collection
+	// (table messages, scion-messages, address-change rounds).
+	ClassGC
+)
+
+// String names the class for stats keys.
+func (c Class) String() string {
+	switch c {
+	case ClassApp:
+		return "app"
+	case ClassGC:
+		return "gc"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Msg is one message on the simulated network.
+type Msg struct {
+	From, To  addr.NodeID
+	Kind      string // protocol-level message kind, e.g. "dsm.acquireWrite"
+	Class     Class
+	Seq       uint64 // per (From,To) stream sequence number
+	Payload   any
+	Bytes     int // simulated payload size in bytes
+	Piggyback int // bytes of GC information riding on an app message
+}
+
+// Handler consumes an asynchronous message.
+type Handler func(Msg)
+
+// CallHandler serves a synchronous request and produces a reply payload.
+// The returned reply size is the simulated size in bytes of the reply.
+type CallHandler func(Msg) (reply any, replyBytes int, err error)
+
+// Options configures a Network.
+type Options struct {
+	Seed        int64   // RNG seed for loss injection
+	LossRate    float64 // drop probability for asynchronous sends in [0,1)
+	SendLatency uint64  // simulated ticks charged per async delivery
+	CallLatency uint64  // simulated ticks charged per synchronous leg
+}
+
+type pair struct{ from, to addr.NodeID }
+
+func (p pair) String() string { return fmt.Sprintf("%v->%v", p.from, p.to) }
+
+type queue struct {
+	nextSeq uint64 // next sequence number to assign on this stream
+	msgs    []Msg
+}
+
+// Network is a deterministic simulated network connecting the cluster nodes.
+// It is safe for concurrent use; handlers are invoked without internal locks
+// held, so they may freely send and call.
+type Network struct {
+	opts Options
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	handlers map[addr.NodeID]Handler
+	callees  map[addr.NodeID]CallHandler
+	queues   map[pair]*queue
+
+	clock *Clock
+	stats *Stats
+}
+
+// New creates a network with the given options.
+func New(opts Options) *Network {
+	return &Network{
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		handlers: make(map[addr.NodeID]Handler),
+		callees:  make(map[addr.NodeID]CallHandler),
+		queues:   make(map[pair]*queue),
+		clock:    &Clock{},
+		stats:    NewStats(),
+	}
+}
+
+// Clock returns the network's simulated clock.
+func (nw *Network) Clock() *Clock { return nw.clock }
+
+// Stats returns the network's counter registry.
+func (nw *Network) Stats() *Stats { return nw.stats }
+
+// Register installs the message handlers for a node. It must be called once
+// per node before any traffic involves that node.
+func (nw *Network) Register(id addr.NodeID, h Handler, c CallHandler) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.handlers[id] = h
+	nw.callees[id] = c
+}
+
+// SetLossRate changes the asynchronous drop probability at runtime.
+func (nw *Network) SetLossRate(p float64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.opts.LossRate = p
+}
+
+// Send enqueues an asynchronous message on the FIFO stream from m.From to
+// m.To, assigning its stream sequence number. Depending on the configured
+// loss rate the message may be dropped; a dropped message still consumes a
+// sequence number (the receiver observes a gap, never a reorder). Send
+// reports whether the message was enqueued.
+func (nw *Network) Send(m Msg) bool {
+	nw.mu.Lock()
+	p := pair{m.From, m.To}
+	q := nw.queues[p]
+	if q == nil {
+		q = &queue{nextSeq: 1}
+		nw.queues[p] = q
+	}
+	m.Seq = q.nextSeq
+	q.nextSeq++
+	lost := nw.opts.LossRate > 0 && nw.rng.Float64() < nw.opts.LossRate
+	if !lost {
+		q.msgs = append(q.msgs, m)
+	}
+	nw.mu.Unlock()
+
+	nw.stats.Add("msg.sent."+m.Class.String(), 1)
+	nw.stats.Add("msg.sent.kind."+m.Kind, 1)
+	nw.stats.Add("bytes.sent."+m.Class.String(), int64(m.Bytes))
+	if lost {
+		nw.stats.Add("msg.lost", 1)
+		return false
+	}
+	return true
+}
+
+// Call performs a reliable synchronous request/reply exchange with the
+// destination node's call handler. The request and the reply each count as
+// one message of m.Class; piggybacked GC bytes are accounted separately so
+// that the cost of riding GC information on consistency messages is visible.
+func (nw *Network) Call(m Msg) (any, error) {
+	nw.mu.Lock()
+	h := nw.callees[m.To]
+	nw.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("simnet: no call handler registered for %v", m.To)
+	}
+
+	nw.clock.Advance(nw.opts.CallLatency)
+	nw.stats.Add("msg.sent."+m.Class.String(), 1)
+	nw.stats.Add("msg.sent.kind."+m.Kind, 1)
+	nw.stats.Add("bytes.sent."+m.Class.String(), int64(m.Bytes))
+	nw.stats.Add("bytes.piggyback", int64(m.Piggyback))
+
+	reply, replyBytes, err := h(m)
+
+	nw.clock.Advance(nw.opts.CallLatency)
+	nw.stats.Add("msg.sent."+m.Class.String(), 1)
+	nw.stats.Add("msg.sent.kind."+m.Kind+".reply", 1)
+	nw.stats.Add("bytes.sent."+m.Class.String(), int64(replyBytes))
+	return reply, err
+}
+
+// Pending reports the number of undelivered asynchronous messages.
+func (nw *Network) Pending() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	n := 0
+	for _, q := range nw.queues {
+		n += len(q.msgs)
+	}
+	return n
+}
+
+// Step delivers the oldest asynchronous message of one stream, chosen in a
+// deterministic order across streams, and reports whether anything was
+// delivered. The handler runs without network locks held.
+func (nw *Network) Step() bool {
+	nw.mu.Lock()
+	var ps []pair
+	for p, q := range nw.queues {
+		if len(q.msgs) > 0 {
+			ps = append(ps, p)
+		}
+	}
+	if len(ps) == 0 {
+		nw.mu.Unlock()
+		return false
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].from != ps[j].from {
+			return ps[i].from < ps[j].from
+		}
+		return ps[i].to < ps[j].to
+	})
+	q := nw.queues[ps[0]]
+	m := q.msgs[0]
+	q.msgs = q.msgs[1:]
+	h := nw.handlers[m.To]
+	nw.mu.Unlock()
+
+	nw.clock.Advance(nw.opts.SendLatency)
+	nw.stats.Add("msg.delivered", 1)
+	if h != nil {
+		h(m)
+	}
+	return true
+}
+
+// Run delivers queued asynchronous messages until none remain or limit
+// deliveries have been made (limit <= 0 means no limit). It returns the
+// number of messages delivered. Handlers may enqueue further messages, which
+// Run also delivers.
+func (nw *Network) Run(limit int) int {
+	n := 0
+	for limit <= 0 || n < limit {
+		if !nw.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats is a concurrency-safe counter registry. Every layer of the system
+// (network, DSM protocol, collectors) records its events here under dotted
+// names, so experiments can assert structural claims such as "the collector
+// acquired zero tokens" or "GC added zero non-piggybacked messages".
+type Stats struct {
+	mu sync.Mutex
+	c  map[string]int64
+}
+
+// NewStats returns an empty registry.
+func NewStats() *Stats { return &Stats{c: make(map[string]int64)} }
+
+// Add increments counter name by d.
+func (s *Stats) Add(name string, d int64) {
+	s.mu.Lock()
+	s.c[name] += d
+	s.mu.Unlock()
+}
+
+// Get returns the current value of counter name (zero if never touched).
+func (s *Stats) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c[name]
+}
+
+// SumPrefix returns the sum of all counters whose name starts with prefix.
+func (s *Stats) SumPrefix(prefix string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum int64
+	for k, v := range s.c {
+		if strings.HasPrefix(k, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Stats) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.c))
+	for k, v := range s.c {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears every counter.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	s.c = make(map[string]int64)
+	s.mu.Unlock()
+}
+
+// String renders the non-zero counters sorted by name, one per line.
+func (s *Stats) String() string {
+	snap := s.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if snap[k] != 0 {
+			fmt.Fprintf(&b, "%-40s %d\n", k, snap[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bmx/internal/addr"
+	"bmx/internal/cluster"
+)
+
+// OO7Config sizes an OO7-style design database (the §1 motivation: "the
+// object graphs of applications, like financial or design databases ... are
+// very intricate, which makes manual storage management increasingly
+// difficult and error-prone").
+type OO7Config struct {
+	Modules        int // one bunch per module
+	AssemblyFanout int // children per complex assembly
+	AssemblyLevels int // depth of the assembly tree (leaves are base assemblies)
+	PartsPerBase   int // composite parts per base assembly
+	AtomsPerPart   int // atomic parts chained under each composite part
+	Seed           int64
+}
+
+// DefaultOO7 is a small but structurally complete instance.
+func DefaultOO7() OO7Config {
+	return OO7Config{
+		Modules: 2, AssemblyFanout: 2, AssemblyLevels: 2,
+		PartsPerBase: 2, AtomsPerPart: 3, Seed: 1,
+	}
+}
+
+// OO7 is a built design database.
+type OO7 struct {
+	Root    cluster.Ref    // design library root (field i -> module i)
+	Bunches []addr.BunchID // one per module
+	Modules []cluster.Ref
+	// Everything allocated, for verification.
+	Objects []cluster.Ref
+	// CrossRefs counts the inter-module (inter-bunch) connections built.
+	CrossRefs int
+}
+
+// BuildOO7 constructs the database at node nd: a rooted design library
+// whose modules each live in their own bunch; each module holds a complex
+// assembly tree whose base assemblies reference composite parts, each with
+// a chain of atomic parts; and a sprinkling of cross-module "uses"
+// references connecting composite parts across bunches, which is where the
+// inter-bunch SSP machinery earns its keep.
+func BuildOO7(nd *cluster.Node, rootBunch addr.BunchID, cfg OO7Config) (*OO7, error) {
+	if cfg.Modules < 1 || cfg.AssemblyFanout < 1 || cfg.AssemblyLevels < 0 {
+		return nil, fmt.Errorf("trace: bad OO7 config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := &OO7{}
+
+	alloc := func(b addr.BunchID, size int) (cluster.Ref, error) {
+		r, err := nd.Alloc(b, size)
+		if err != nil {
+			return cluster.Nil, err
+		}
+		db.Objects = append(db.Objects, r)
+		return r, nil
+	}
+
+	root, err := alloc(rootBunch, cfg.Modules)
+	if err != nil {
+		return nil, err
+	}
+	db.Root = root
+	nd.AddRoot(root)
+
+	type partInfo struct{ part, tail cluster.Ref }
+	var allParts []partInfo
+	for m := 0; m < cfg.Modules; m++ {
+		b := nd.NewBunch()
+		db.Bunches = append(db.Bunches, b)
+
+		// Composite part: header with a chain of atomic parts. Returns the
+		// header and the chain tail (the hook for cross-module links).
+		newPart := func() (partInfo, error) {
+			part, err := alloc(b, 2) // 0: first atom, 1: doc id
+			if err != nil {
+				return partInfo{}, err
+			}
+			if err := nd.WriteWord(part, 1, rng.Uint64()); err != nil {
+				return partInfo{}, err
+			}
+			prev := part
+			for a := 0; a < cfg.AtomsPerPart; a++ {
+				atom, err := alloc(b, 2) // 0: next atom, 1: payload
+				if err != nil {
+					return partInfo{}, err
+				}
+				if err := nd.WriteWord(atom, 1, uint64(a)); err != nil {
+					return partInfo{}, err
+				}
+				if err := nd.WriteRef(prev, 0, atom); err != nil {
+					return partInfo{}, err
+				}
+				prev = atom
+			}
+			return partInfo{part: part, tail: prev}, nil
+		}
+
+		// Assembly tree: complex assemblies down to base assemblies.
+		var build func(level int) (cluster.Ref, error)
+		build = func(level int) (cluster.Ref, error) {
+			if level == 0 {
+				base, err := alloc(b, cfg.PartsPerBase)
+				if err != nil {
+					return cluster.Nil, err
+				}
+				for p := 0; p < cfg.PartsPerBase; p++ {
+					pi, err := newPart()
+					if err != nil {
+						return cluster.Nil, err
+					}
+					allParts = append(allParts, pi)
+					if err := nd.WriteRef(base, p, pi.part); err != nil {
+						return cluster.Nil, err
+					}
+				}
+				return base, nil
+			}
+			asm, err := alloc(b, cfg.AssemblyFanout)
+			if err != nil {
+				return cluster.Nil, err
+			}
+			for c := 0; c < cfg.AssemblyFanout; c++ {
+				child, err := build(level - 1)
+				if err != nil {
+					return cluster.Nil, err
+				}
+				if err := nd.WriteRef(asm, c, child); err != nil {
+					return cluster.Nil, err
+				}
+			}
+			return asm, nil
+		}
+
+		module, err := alloc(b, 2) // 0: assembly root, 1: module id
+		if err != nil {
+			return nil, err
+		}
+		if err := nd.WriteWord(module, 1, uint64(m)); err != nil {
+			return nil, err
+		}
+		asmRoot, err := build(cfg.AssemblyLevels)
+		if err != nil {
+			return nil, err
+		}
+		if err := nd.WriteRef(module, 0, asmRoot); err != nil {
+			return nil, err
+		}
+		db.Modules = append(db.Modules, module)
+		if err := nd.WriteRef(root, m, module); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cross-module "uses" links between composite parts: each part's atom
+	// chain tail gains a reference to a random other part.
+	if cfg.Modules > 1 {
+		dir := nd.Collector()
+		for _, pi := range allParts {
+			other := allParts[rng.Intn(len(allParts))]
+			if nd.SamePtr(pi.part, other.part) {
+				continue
+			}
+			if err := nd.WriteRef(pi.tail, 0, other.part); err != nil {
+				return nil, err
+			}
+			// Only links that actually cross bunches count as cross-module
+			// references (same-module "uses" links are realistic but need
+			// no SSP).
+			if dir.BunchOf(pi.part.OID) != dir.BunchOf(other.part.OID) {
+				db.CrossRefs++
+			}
+		}
+	}
+	return db, nil
+}
+
+// ObjectsPerModule is the number of objects one module contributes.
+func (cfg OO7Config) ObjectsPerModule() int {
+	assemblies := 0
+	leaves := 1
+	for l := 0; l < cfg.AssemblyLevels; l++ {
+		assemblies += leaves
+		leaves *= cfg.AssemblyFanout
+	}
+	perBase := cfg.PartsPerBase * (1 + cfg.AtomsPerPart)
+	return 1 /*module*/ + assemblies + leaves + leaves*perBase
+}
+
+// TotalObjects is the full database size including the library root.
+func (cfg OO7Config) TotalObjects() int {
+	return 1 + cfg.Modules*cfg.ObjectsPerModule()
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"testing"
+
+	"bmx/internal/cluster"
+)
+
+func newNode(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	return cluster.New(cluster.Config{Nodes: nodes, SegWords: 256, Seed: 1})
+}
+
+func TestBuildList(t *testing.T) {
+	cl := newNode(t, 1)
+	n := cl.Node(0)
+	b := n.NewBunch()
+	g, err := BuildList(n, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Objects) != 10 {
+		t.Fatalf("objects = %d", len(g.Objects))
+	}
+	// Walk the list.
+	cur := g.Root
+	for i := 0; i < 10; i++ {
+		v, err := n.ReadWord(cur, 1)
+		if err != nil || v != uint64(i) {
+			t.Fatalf("node %d payload = %d, %v", i, v, err)
+		}
+		next, err := n.ReadRef(cur, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 9 {
+			if !next.IsNil() {
+				t.Fatal("list should end")
+			}
+		} else {
+			cur = next
+		}
+	}
+	// List survives a collection wholesale.
+	st := n.CollectBunch(b)
+	if st.Dead != 0 || st.LiveStrong != 10 {
+		t.Fatalf("gc: dead=%d live=%d", st.Dead, st.LiveStrong)
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	cl := newNode(t, 1)
+	n := cl.Node(0)
+	b := n.NewBunch()
+	g, err := BuildTree(n, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Objects) != 15 {
+		t.Fatalf("tree size = %d, want 15", len(g.Objects))
+	}
+	st := n.CollectBunch(b)
+	if st.LiveStrong != 15 || st.Dead != 0 {
+		t.Fatalf("gc: %+v", st)
+	}
+}
+
+func TestBuildWebReachability(t *testing.T) {
+	cl := newNode(t, 1)
+	n := cl.Node(0)
+	b := n.NewBunch()
+	g, err := BuildWeb(n, b, WebConfig{Objects: 40, OutDegree: 3, Seed: 5, DeadFrac: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := n.CollectBunch(b)
+	wantLive := 30 // 75% of 40
+	if st.LiveStrong != wantLive {
+		t.Fatalf("live = %d, want %d", st.LiveStrong, wantLive)
+	}
+	if st.Dead != 10 {
+		t.Fatalf("dead = %d, want 10", st.Dead)
+	}
+	if CountPresent(n, g) != wantLive {
+		t.Fatalf("present = %d", CountPresent(n, g))
+	}
+}
+
+func TestShareReplicates(t *testing.T) {
+	cl := newNode(t, 3)
+	n1 := cl.Node(0)
+	b := n1.NewBunch()
+	g, err := BuildList(n1, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Share(g.Objects, cl.Node(1), cl.Node(2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if v, err := cl.Node(i).ReadWord(g.Objects[3], 1); err != nil || v != 3 {
+			t.Fatalf("node %d read = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestChurnCreatesGarbage(t *testing.T) {
+	cl := newNode(t, 1)
+	n := cl.Node(0)
+	b := n.NewBunch()
+	g, err := BuildList(n, b, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := Churn(n, g, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cuts == 0 {
+		t.Fatal("no cuts at 50% churn")
+	}
+	st := n.CollectBunch(b)
+	if st.Dead == 0 {
+		t.Fatal("churn produced no garbage")
+	}
+	if st.Dead+st.LiveStrong != 20 {
+		t.Fatalf("dead %d + live %d != 20", st.Dead, st.LiveStrong)
+	}
+}
+
+func TestMutateValues(t *testing.T) {
+	cl := newNode(t, 2)
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b := n1.NewBunch()
+	g, err := BuildList(n1, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Share(g.Objects, n2); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations from the second node must acquire write tokens.
+	before := cl.Stats().Get("dsm.acquire.w.app")
+	if err := MutateValues(n2, g, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats().Get("dsm.acquire.w.app") == before {
+		t.Fatal("mutations did not acquire write tokens")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	build := func() int {
+		cl := newNode(t, 1)
+		n := cl.Node(0)
+		b := n.NewBunch()
+		g, err := BuildWeb(n, b, WebConfig{Objects: 30, OutDegree: 2, Seed: 9, DeadFrac: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Churn(n, g, 0.4, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := n.CollectBunch(b)
+		return st.Dead
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("non-deterministic workload: %d vs %d dead", a, b)
+	}
+}
