@@ -2,12 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments figures examples cover clean
+.PHONY: all build vet test test-short race bench experiments figures examples cover clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...

@@ -8,6 +8,7 @@ package bmx_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"bmx"
@@ -618,4 +619,98 @@ func BenchmarkTxCommit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelDisjointMutators measures the payoff of per-node
+// locking: W worker goroutines, each the sole mutator of its own node and
+// bunch, doing acquire/write/read/release rounds with a collection every
+// 64 operations. Workers share only the internally locked directory,
+// allocator and network, so on multicore hardware throughput scales with W
+// where the old global cluster lock serialized everything. Reported time
+// is per operation across all workers.
+func BenchmarkParallelDisjointMutators(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cl := bmx.New(bmx.Config{Nodes: workers, SegWords: 512, Seed: 1})
+			type lane struct {
+				n    *cluster.Node
+				bu   bmx.BunchID
+				objs []bmx.Ref
+			}
+			lanes := make([]lane, workers)
+			for w := 0; w < workers; w++ {
+				n := cl.Node(w)
+				bu := n.NewBunch()
+				var objs []bmx.Ref
+				for j := 0; j < 8; j++ {
+					r := n.MustAlloc(bu, 4)
+					n.AddRoot(r)
+					objs = append(objs, r)
+				}
+				lanes[w] = lane{n: n, bu: bu, objs: objs}
+			}
+			perWorker := b.N/workers + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(l lane) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						r := l.objs[i%len(l.objs)]
+						if err := l.n.AcquireWrite(r); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := l.n.WriteWord(r, 1, uint64(i)); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := l.n.ReadWord(r, 1); err != nil {
+							b.Error(err)
+							return
+						}
+						l.n.Release(r)
+						if i%64 == 63 {
+							l.n.CollectBunch(l.bu)
+						}
+					}
+				}(lanes[w])
+			}
+			wg.Wait()
+			b.StopTimer()
+			cl.RunConcurrent(0)
+		})
+	}
+}
+
+// BenchmarkParallelRunConcurrent compares draining one backlog of
+// background messages with the deterministic single-driver Run against the
+// goroutine-per-node RunConcurrent.
+func BenchmarkParallelRunConcurrent(b *testing.B) {
+	build := func() *bmx.Cluster {
+		cl := bmx.New(bmx.Config{Nodes: 4, SegWords: 512, Seed: 1})
+		sharedList(b, cl, 64)
+		for i := 0; i < cl.Nodes(); i++ {
+			cl.Node(i).CollectConnectedGroups()
+			cl.Node(i).FlushLocations()
+		}
+		return cl
+	}
+	b.Run("Run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cl := build()
+			b.StartTimer()
+			cl.Run(0)
+		}
+	})
+	b.Run("RunConcurrent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cl := build()
+			b.StartTimer()
+			cl.RunConcurrent(0)
+		}
+	})
 }

@@ -38,7 +38,7 @@ import (
 	"bmx/internal/cluster"
 	"bmx/internal/core"
 	"bmx/internal/dsm"
-	"bmx/internal/simnet"
+	"bmx/internal/transport"
 )
 
 // Config parametrizes a simulated cluster. The zero value means one node,
@@ -118,7 +118,7 @@ const (
 )
 
 // Stats is the cluster-wide counter registry.
-type Stats = simnet.Stats
+type Stats = transport.Stats
 
 // New builds a cluster.
 func New(cfg Config) *Cluster { return cluster.New(cfg) }

@@ -27,8 +27,17 @@ import (
 //   - heap sanity: every canonical address resolves to a header carrying
 //     the object's identity.
 func (cl *Cluster) CheckInvariants() []string {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
+	// Freeze the whole cluster: take every node lock in ascending node-ID
+	// order (the one place two node locks are held at once; the fixed
+	// order makes concurrent checkers deadlock-free).
+	for _, n := range cl.nodes {
+		n.mu.Lock()
+	}
+	defer func() {
+		for _, n := range cl.nodes {
+			n.mu.Unlock()
+		}
+	}()
 	var bad []string
 	report := func(format string, args ...any) {
 		bad = append(bad, fmt.Sprintf(format, args...))

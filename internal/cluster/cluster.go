@@ -1,15 +1,22 @@
 // Package cluster assembles the BMX platform: N simulated nodes, each with a
 // heap (mapped segment replicas), an entry-consistency DSM engine, and a
-// collector (BGC + scion cleaner + GGC), wired over the simulated network.
-// It exposes the mutator interface of §2: allocate objects in bunches,
-// acquire/release per-object tokens, read and write fields (every write
-// passes the write barrier of §3.2), map bunches on additional nodes, and
-// drive collections.
+// collector (BGC + scion cleaner + GGC), wired over a transport.Network
+// (internal/simnet by default). It exposes the mutator interface of §2:
+// allocate objects in bunches, acquire/release per-object tokens, read and
+// write fields (every write passes the write barrier of §3.2), map bunches
+// on additional nodes, and drive collections.
 //
-// All public operations are serialized under one cluster lock; message
-// handlers execute inside the operation that triggered them (synchronous
-// calls) or inside Step/Run (background traffic), so behaviour is
-// deterministic for a given seed.
+// Concurrency model (see DESIGN.md §5): every node has its own mutex, so
+// operations on different nodes run in parallel. The two genuinely shared
+// services — the core.Directory (with its segment allocator) and the
+// network's queues, clock and stats — have their own fine-grained locks.
+// The lock order is node → directory → network; a node's lock is never held
+// across an outbound synchronous call (the per-node transport wrapper
+// releases it), so a call from node A into node B's handler — or back into
+// A's own handler — cannot deadlock. Driven from a single goroutine the
+// locks are uncontended and behaviour is byte-for-byte the deterministic
+// state machine it always was; RunConcurrent and goroutine-per-node
+// mutators exploit the parallelism.
 package cluster
 
 import (
@@ -24,6 +31,7 @@ import (
 	"bmx/internal/rvm"
 	"bmx/internal/simnet"
 	"bmx/internal/store"
+	"bmx/internal/transport"
 )
 
 // Config parametrizes a simulated cluster.
@@ -43,8 +51,13 @@ type Config struct {
 	// SegmentGrainTokens switches the consistency granularity from one
 	// token per object to one token per (allocation) segment: acquiring
 	// any object acquires its whole segment's population, emulating
-	// page-grain DSM false sharing (§10's granularity question).
+	// page-grain DSM false sharing (§10's granularity question). Segment
+	// grain is supported by the deterministic single driver only.
 	SegmentGrainTokens bool
+	// Transport overrides the communication substrate. Nil means a
+	// simnet.Network built from the Seed/LossRate/latency fields above —
+	// the deterministic simulated cluster.
+	Transport transport.Network
 }
 
 func (c Config) withDefaults() Config {
@@ -76,13 +89,23 @@ type mapBunchReply struct {
 	Images []mem.SegImage
 }
 
+// objStripes is the size of the striped lock table serializing top-level
+// token operations on the same object (see Cluster.lockObject).
+const objStripes = 64
+
 // Cluster is a simulated BMX deployment.
 type Cluster struct {
-	mu    sync.Mutex
 	cfg   Config
-	net   *simnet.Network
+	net   transport.Network
 	dir   *core.Directory
 	nodes []*Node
+	// objLocks serialize concurrent top-level token acquisitions of the
+	// same object cluster-wide, making each acquire-chain atomic with
+	// respect to other acquires of that object while chains for different
+	// objects proceed in parallel. Protocol handlers never take these:
+	// only mutator entry points do, before any node lock (lock order:
+	// object-op → node → directory → network).
+	objLocks [objStripes]sync.Mutex
 }
 
 // Node is one site of the cluster: its heap, protocol engine, collector and
@@ -92,6 +115,12 @@ type Node struct {
 	id  addr.NodeID
 	col *core.Collector
 	dsm *dsm.Node
+	// mu serializes this node's local state (heap, protocol engine,
+	// collector tables). It is released around outbound synchronous calls
+	// by tr, the node's transport wrapper, so remote handlers — including
+	// this node's own — can always make progress.
+	mu ownedMutex
+	tr transport.Transport
 
 	disk *store.Disk
 	log  *rvm.Log
@@ -102,24 +131,27 @@ type Node struct {
 // New builds a cluster.
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
-	cl := &Cluster{
-		cfg: cfg,
-		net: simnet.New(simnet.Options{
+	net := cfg.Transport
+	if net == nil {
+		net = simnet.New(simnet.Options{
 			Seed:        cfg.Seed,
 			LossRate:    cfg.LossRate,
 			SendLatency: cfg.SendLatency,
 			CallLatency: cfg.CallLatency,
-		}),
+		})
 	}
+	cl := &Cluster{cfg: cfg, net: net}
 	cl.dir = core.NewDirectory(mem.NewAllocator(cfg.SegWords))
 	for i := 0; i < cfg.Nodes; i++ {
 		id := addr.NodeID(i)
+		n := &Node{cl: cl, id: id}
+		n.tr = &nodeTransport{n: n, inner: cl.net}
 		heap := mem.NewHeap(cl.dir.Allocator())
-		col := core.NewCollector(id, heap, cl.dir, cl.net, cfg.Costs)
-		d := dsm.NewNode(id, cl.net, col, cfg.Nodes)
+		col := core.NewCollector(id, heap, cl.dir, n.tr, cfg.Costs)
+		d := dsm.NewNode(id, n.tr, col, cfg.Nodes)
 		d.SetProtocol(cfg.Consistency)
 		col.SetDSM(d)
-		n := &Node{cl: cl, id: id, col: col, dsm: d}
+		n.col, n.dsm = col, d
 		if cfg.WithDisk {
 			n.disk = store.NewDisk()
 			n.log = rvm.NewLog(n.disk, "rvm-log")
@@ -136,11 +168,12 @@ func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
 // Nodes returns the cluster size.
 func (cl *Cluster) Nodes() int { return len(cl.nodes) }
 
-// Stats returns the shared counter registry.
-func (cl *Cluster) Stats() *simnet.Stats { return cl.net.Stats() }
+// Stats returns the shared counter registry (internally locked; safe to
+// read while the cluster runs).
+func (cl *Cluster) Stats() *transport.Stats { return cl.net.Stats() }
 
-// Clock returns the simulated clock.
-func (cl *Cluster) Clock() *simnet.Clock { return cl.net.Clock() }
+// Clock returns the simulated clock (internally locked).
+func (cl *Cluster) Clock() *transport.Clock { return cl.net.Clock() }
 
 // Directory exposes the cluster metadata service (read-mostly; used by
 // tools and experiments).
@@ -149,27 +182,32 @@ func (cl *Cluster) Directory() *core.Directory { return cl.dir }
 // SetLossRate changes the background-message drop probability.
 func (cl *Cluster) SetLossRate(p float64) { cl.net.SetLossRate(p) }
 
-// Step delivers one pending background message; Run drains them all.
-func (cl *Cluster) Step() bool {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	return cl.net.Step()
-}
+// Step delivers one pending background message; Run drains them all. The
+// network's own lock orders concurrent deliveries; each handler runs under
+// its node's lock.
+func (cl *Cluster) Step() bool { return cl.net.Step() }
 
 // Run delivers pending background messages until none remain (limit <= 0)
 // or limit deliveries were made, returning the count.
-func (cl *Cluster) Run(limit int) int {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	return cl.net.Run(limit)
-}
+func (cl *Cluster) Run(limit int) int { return cl.net.Run(limit) }
 
-// Pending reports undelivered background messages.
+// Pending reports undelivered background messages (internally locked).
 func (cl *Cluster) Pending() int { return cl.net.Pending() }
+
+// lockObject serializes top-level token operations on o cluster-wide and
+// returns the unlock. Striped: unrelated objects may share a stripe, which
+// over-serializes but never deadlocks (one stripe per operation, always
+// taken before any node lock).
+func (cl *Cluster) lockObject(o addr.OID) func() {
+	m := &cl.objLocks[uint64(o)%objStripes]
+	m.Lock()
+	return m.Unlock
+}
 
 // ---- message routing --------------------------------------------------------
 
-func (n *Node) handleAsync(m simnet.Msg) {
+func (n *Node) handleAsync(m transport.Msg) {
+	defer n.lock()()
 	switch {
 	case strings.HasPrefix(m.Kind, "dsm."):
 		n.dsm.HandleAsync(m)
@@ -178,7 +216,8 @@ func (n *Node) handleAsync(m simnet.Msg) {
 	}
 }
 
-func (n *Node) handleCall(m simnet.Msg) (any, int, error) {
+func (n *Node) handleCall(m transport.Msg) (any, int, error) {
+	defer n.lock()()
 	switch {
 	case strings.HasPrefix(m.Kind, "dsm."):
 		return n.dsm.HandleCall(m)
@@ -227,9 +266,10 @@ func (n *Node) DSM() *dsm.Node { return n.dsm }
 // Disk returns the node's simulated disk (nil without WithDisk).
 func (n *Node) Disk() *store.Disk { return n.disk }
 
+// lock takes this node's mutex and returns the unlock.
 func (n *Node) lock() func() {
-	n.cl.mu.Lock()
-	return n.cl.mu.Unlock
+	n.mu.Lock()
+	return n.mu.Unlock
 }
 
 // ---- bunch management ---------------------------------------------------------
@@ -267,8 +307,8 @@ func (n *Node) mapBunchLocked(b addr.BunchID) error {
 		n.cl.dir.AddReplica(b, n.id)
 		return nil
 	}
-	raw, err := n.cl.net.Call(simnet.Msg{
-		From: n.id, To: src, Kind: KindMapBunch, Class: simnet.ClassApp,
+	raw, err := n.tr.Call(transport.Msg{
+		From: n.id, To: src, Kind: KindMapBunch, Class: transport.ClassApp,
 		Payload: mapBunchReq{Bunch: b, Gen: n.col.NextTableGen(b)}, Bytes: 16,
 	})
 	if err != nil {
@@ -332,14 +372,14 @@ func (n *Node) CollectBunch(b addr.BunchID) core.CollectStats {
 }
 
 // CollectBunchOpts runs the BGC with options. The DuringTrace callback runs
-// with the cluster lock released so it can use the full mutator API, exactly
+// with the node's lock released so it can use the full mutator API, exactly
 // like an application thread running concurrently with the collector.
 func (n *Node) CollectBunchOpts(b addr.BunchID, opts core.CollectOpts) core.CollectStats {
 	defer n.lock()()
 	if f := opts.DuringTrace; f != nil {
 		opts.DuringTrace = func() {
-			n.cl.mu.Unlock()
-			defer n.cl.mu.Lock()
+			n.mu.Unlock()
+			defer n.mu.Lock()
 			f()
 		}
 	}

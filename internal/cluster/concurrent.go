@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"bmx/internal/addr"
+	"bmx/internal/transport"
+)
+
+// gid returns the current goroutine's id. The runtime does not expose it on
+// purpose; parsing the stack header is the standard trick and is only used
+// to let a node's transport wrapper recognise "the caller holds this node's
+// lock" — never for scheduling or identity.
+func gid() int64 {
+	var buf [64]byte
+	b := buf[:runtime.Stack(buf[:], false)]
+	// First line is "goroutine N [status]:".
+	b = bytes.TrimPrefix(b, []byte("goroutine "))
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		b = b[:i]
+	}
+	n, _ := strconv.ParseInt(string(b), 10, 64)
+	return n
+}
+
+// ownedMutex is a mutex that remembers which goroutine holds it, so the
+// node's transport wrapper can release it around outbound synchronous calls
+// exactly when the calling goroutine is the holder (direct protocol driving
+// in tests calls dsm.Node methods without any cluster lock held).
+type ownedMutex struct {
+	mu    sync.Mutex
+	owner atomic.Int64 // goroutine id of the holder; 0 when free
+}
+
+func (m *ownedMutex) Lock() {
+	m.mu.Lock()
+	m.owner.Store(gid())
+}
+
+func (m *ownedMutex) Unlock() {
+	m.owner.Store(0)
+	m.mu.Unlock()
+}
+
+// heldByCaller reports whether the calling goroutine holds m.
+func (m *ownedMutex) heldByCaller() bool { return m.owner.Load() == gid() }
+
+// nodeTransport is the per-node view of the cluster transport handed to the
+// node's DSM engine and collector. Its one job is deadlock avoidance: an
+// outbound synchronous Call releases the node's lock for the duration of
+// the exchange, because the remote handler chain may legitimately call back
+// into this node (a write grant invalidates the requester's own copy-set
+// entries; ownership forwarding chains can revisit any hop). A goroutine
+// therefore holds at most one node lock at any moment, and every blocked
+// Call holds none. Asynchronous Sends only enqueue — no handler runs — so
+// they keep the lock.
+type nodeTransport struct {
+	n     *Node
+	inner transport.Network
+}
+
+func (t *nodeTransport) Send(m transport.Msg) bool { return t.inner.Send(m) }
+
+func (t *nodeTransport) Call(m transport.Msg) (any, error) {
+	if t.n.mu.heldByCaller() {
+		t.n.mu.Unlock()
+		defer t.n.mu.Lock()
+	}
+	return t.inner.Call(m)
+}
+
+func (t *nodeTransport) Register(id addr.NodeID, h transport.Handler, c transport.CallHandler) {
+	t.inner.Register(id, h, c)
+}
+
+func (t *nodeTransport) Clock() *transport.Clock { return t.inner.Clock() }
+func (t *nodeTransport) Stats() *transport.Stats { return t.inner.Stats() }
+
+// RunConcurrent drains pending background messages with one delivery
+// goroutine per node, so deliveries to different nodes proceed in parallel
+// while each (from, to) stream stays FIFO (every destination has exactly
+// one consumer). It stops when no messages remain, or after limit
+// deliveries (limit <= 0 means no limit), and returns the number delivered.
+//
+// Unlike Run, the global delivery order is not deterministic; use it for
+// throughput, Run for reproducibility.
+func (cl *Cluster) RunConcurrent(limit int) int {
+	var delivered atomic.Int64
+	for {
+		var passed atomic.Int64
+		var wg sync.WaitGroup
+		for _, n := range cl.nodes {
+			wg.Add(1)
+			go func(dst addr.NodeID) {
+				defer wg.Done()
+				for {
+					if limit > 0 && delivered.Add(1) > int64(limit) {
+						delivered.Add(-1)
+						return
+					}
+					if !cl.net.StepFor(dst) {
+						if limit > 0 {
+							delivered.Add(-1)
+						}
+						return
+					}
+					if limit <= 0 {
+						delivered.Add(1)
+					}
+					passed.Add(1)
+				}
+			}(n.id)
+		}
+		wg.Wait()
+		// Handlers may have enqueued fresh messages after a node's drainer
+		// saw its queues empty and exited; run another pass until one
+		// delivers nothing (the network is then quiescent).
+		if passed.Load() == 0 || (limit > 0 && delivered.Load() >= int64(limit)) {
+			break
+		}
+	}
+	return int(delivered.Load())
+}

@@ -5,7 +5,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
-	"bmx/internal/simnet"
+	"bmx/internal/transport"
 )
 
 // Ref is a mutator-visible object handle. The paper's mutators hold ordinary
@@ -65,16 +65,21 @@ func (n *Node) RemoveRoot(r Ref) {
 // AcquireRead obtains a read token for r (§2.2). On return the local copy is
 // consistent and — by invariant 1 of §5 — the addresses of r and everything
 // it references are valid here.
-func (n *Node) AcquireRead(r Ref) error {
-	defer n.lock()()
-	return n.acquireLocked(r, dsm.ModeRead)
-}
+func (n *Node) AcquireRead(r Ref) error { return n.acquireToken(r, dsm.ModeRead) }
 
 // AcquireWrite obtains the exclusive write token for r, transferring
 // ownership here and invalidating all other consistent copies.
-func (n *Node) AcquireWrite(r Ref) error {
+func (n *Node) AcquireWrite(r Ref) error { return n.acquireToken(r, dsm.ModeWrite) }
+
+// acquireToken is the top-level token entry point: it serializes against
+// other top-level acquires of the same object cluster-wide (the object lock
+// is taken before the node lock and held across the whole acquire chain, so
+// concurrent acquires of one object cannot interleave their forwarding
+// hops), then performs the acquire under the node lock.
+func (n *Node) acquireToken(r Ref, mode dsm.Mode) error {
+	defer n.cl.lockObject(r.OID)()
 	defer n.lock()()
-	return n.acquireLocked(r, dsm.ModeWrite)
+	return n.acquireLocked(r, mode)
 }
 
 // acquireLocked performs a token acquire at the configured consistency
@@ -82,7 +87,7 @@ func (n *Node) AcquireWrite(r Ref) error {
 // (the coarse-grain variant of §10's future work, emulating page-grain DSM
 // and its false sharing).
 func (n *Node) acquireLocked(r Ref, mode dsm.Mode) error {
-	if err := n.dsm.Acquire(r.OID, mode, simnet.ClassApp); err != nil {
+	if err := n.dsm.Acquire(r.OID, mode, transport.ClassApp); err != nil {
 		return err
 	}
 	if !n.cl.cfg.SegmentGrainTokens {
@@ -98,7 +103,7 @@ func (n *Node) acquireLocked(r Ref, mode dsm.Mode) error {
 		}
 		// Co-located objects share the token unit; siblings that have
 		// already been reclaimed everywhere simply no longer participate.
-		if err := n.dsm.Acquire(sib, mode, simnet.ClassApp); err != nil {
+		if err := n.dsm.Acquire(sib, mode, transport.ClassApp); err != nil {
 			n.cl.Stats().Add("cluster.grain.siblingSkipped", 1)
 		}
 	}

@@ -5,7 +5,6 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
-	"bmx/internal/simnet"
 )
 
 // Tx is a transactional section over the weakly consistent DSM — the §10
@@ -52,10 +51,10 @@ func (tx *Tx) pin(r Ref, mode dsm.Mode) error {
 	if tx.done {
 		return fmt.Errorf("cluster: operation on a finished transaction")
 	}
-	defer tx.n.lock()()
-	if err := tx.n.dsm.Acquire(r.OID, mode, simnet.ClassApp); err != nil {
+	if err := tx.n.acquireToken(r, mode); err != nil {
 		return err
 	}
+	defer tx.n.lock()()
 	if !tx.seen[r.OID] {
 		tx.n.col.AddRoot(r.OID)
 		tx.seen[r.OID] = true

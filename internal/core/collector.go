@@ -7,8 +7,8 @@ import (
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
 	"bmx/internal/mem"
-	"bmx/internal/simnet"
 	"bmx/internal/ssp"
+	"bmx/internal/transport"
 )
 
 // Costs is the simulated-time cost model charged to the cluster clock by
@@ -65,7 +65,7 @@ type Collector struct {
 	node  addr.NodeID
 	heap  *mem.Heap
 	dir   *Directory
-	net   *simnet.Network
+	net   transport.Transport
 	costs Costs
 	dsm   *dsm.Node
 
@@ -86,7 +86,7 @@ type Collector struct {
 
 // NewCollector creates node's collector. SetDSM must be called before any
 // collection or hook activity.
-func NewCollector(node addr.NodeID, heap *mem.Heap, dir *Directory, net *simnet.Network, costs Costs) *Collector {
+func NewCollector(node addr.NodeID, heap *mem.Heap, dir *Directory, net transport.Transport, costs Costs) *Collector {
 	return &Collector{
 		node:     node,
 		heap:     heap,
@@ -120,7 +120,7 @@ func (c *Collector) Heap() *mem.Heap { return c.heap }
 // DSM returns the node's protocol engine.
 func (c *Collector) DSM() *dsm.Node { return c.dsm }
 
-func (c *Collector) stats() *simnet.Stats { return c.net.Stats() }
+func (c *Collector) stats() *transport.Stats { return c.net.Stats() }
 
 // Replica returns the GC state for bunch b, creating it on first use.
 func (c *Collector) Replica(b addr.BunchID) *Replica {
@@ -310,8 +310,8 @@ func (c *Collector) ensureInterSSP(src addr.OID, sb addr.BunchID, target addr.OI
 		dst := c.scionHost(tb)
 		stub.ScionNode = dst
 		msg := ssp.ScionMsg{Scion: scion}
-		if _, err := c.net.Call(simnet.Msg{
-			From: c.node, To: dst, Kind: KindScion, Class: simnet.ClassGC,
+		if _, err := c.net.Call(transport.Msg{
+			From: c.node, To: dst, Kind: KindScion, Class: transport.ClassGC,
 			Payload: msg, Bytes: msg.WireBytes(),
 		}); err != nil {
 			panic(fmt.Sprintf("core: scion-message to %v failed: %v", dst, err))
@@ -388,8 +388,8 @@ func (c *Collector) FlushLocations() {
 		for _, m := range ms {
 			bytes += m.WireBytes()
 		}
-		c.net.Send(simnet.Msg{
-			From: c.node, To: peer, Kind: KindLocFlush, Class: simnet.ClassGC,
+		c.net.Send(transport.Msg{
+			From: c.node, To: peer, Kind: KindLocFlush, Class: transport.ClassGC,
 			Payload: LocFlushMsg{From: c.node, Manifests: ms}, Bytes: bytes,
 		})
 		c.stats().Add("core.locFlush.msgs", 1)

@@ -6,8 +6,8 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/mem"
-	"bmx/internal/simnet"
 	"bmx/internal/ssp"
+	"bmx/internal/transport"
 )
 
 // TraceOID, when non-zero, enables verbose per-object diagnostics for that
@@ -80,7 +80,7 @@ func (c *Collector) CollectGroup(group []addr.BunchID) CollectStats {
 }
 
 func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool) CollectStats {
-	total := simnet.StartWatch(c.net.Clock())
+	total := transport.StartWatch(c.net.Clock())
 	var st CollectStats
 	st.Bunches = len(bunches)
 	set := make(map[addr.BunchID]bool, len(bunches))
@@ -110,7 +110,7 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 	}
 
 	// ---- Flip pause 1: snapshot the roots (§4.1) -------------------------
-	pause1 := simnet.StartWatch(c.net.Clock())
+	pause1 := transport.StartWatch(c.net.Clock())
 	var strongRoots, weakRoots []addr.OID
 	for _, b := range bunches {
 		rep := c.reps[b]
@@ -170,7 +170,7 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 	}
 
 	// ---- Flip pause 2: replay the mutation log --------------------------
-	pause2 := simnet.StartWatch(c.net.Clock())
+	pause2 := transport.StartWatch(c.net.Clock())
 	for _, b := range bunches {
 		rep := c.reps[b]
 		for o := range rep.writeLog {
@@ -521,8 +521,8 @@ func (c *Collector) sendTables(b addr.BunchID, oldTable *ssp.Table, exiting map[
 			c.ApplyTable(msg)
 			continue
 		}
-		c.net.Send(simnet.Msg{
-			From: c.node, To: dst, Kind: KindTable, Class: simnet.ClassGC,
+		c.net.Send(transport.Msg{
+			From: c.node, To: dst, Kind: KindTable, Class: transport.ClassGC,
 			Payload: msg, Bytes: msg.WireBytes(),
 		})
 		c.stats().Add("core.tables.sent", 1)

@@ -7,8 +7,8 @@ import (
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
 	"bmx/internal/mem"
-	"bmx/internal/simnet"
 	"bmx/internal/ssp"
+	"bmx/internal/transport"
 )
 
 // GC message kinds. The cluster routes "gc.*" messages to the collector.
@@ -82,7 +82,7 @@ type SegHeader struct {
 }
 
 // HandleCall serves synchronous GC requests routed from the network.
-func (c *Collector) HandleCall(m simnet.Msg) (any, int, error) {
+func (c *Collector) HandleCall(m transport.Msg) (any, int, error) {
 	switch m.Kind {
 	case KindScion:
 		msg := m.Payload.(ssp.ScionMsg)
@@ -106,7 +106,7 @@ func (c *Collector) HandleCall(m simnet.Msg) (any, int, error) {
 }
 
 // HandleAsync consumes background GC messages.
-func (c *Collector) HandleAsync(m simnet.Msg) {
+func (c *Collector) HandleAsync(m transport.Msg) {
 	switch m.Kind {
 	case KindTable:
 		c.ApplyTable(m.Payload.(ssp.TableMsg))
@@ -131,8 +131,8 @@ func (c *Collector) sendDeadNotices(byManager map[addr.NodeID][]addr.OID) {
 	for _, mgr := range sortedNodeIDs(byManager) {
 		oids := byManager[mgr]
 		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-		c.net.Send(simnet.Msg{
-			From: c.node, To: mgr, Kind: KindDeadNotice, Class: simnet.ClassGC,
+		c.net.Send(transport.Msg{
+			From: c.node, To: mgr, Kind: KindDeadNotice, Class: transport.ClassGC,
 			Payload: DeadNoticeMsg{From: c.node, OIDs: oids},
 			Bytes:   8 + 8*len(oids),
 		})
@@ -303,8 +303,8 @@ func (c *Collector) requestCopyOut(oids []addr.OID) {
 				}
 				continue
 			}
-			raw, err := c.net.Call(simnet.Msg{
-				From: c.node, To: t.node, Kind: KindCopyOut, Class: simnet.ClassGC,
+			raw, err := c.net.Call(transport.Msg{
+				From: c.node, To: t.node, Kind: KindCopyOut, Class: transport.ClassGC,
 				Payload: CopyOutReq{From: c.node, OIDs: t.oids},
 				Bytes:   8 + 8*len(t.oids),
 			})

@@ -5,7 +5,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
-	"bmx/internal/simnet"
+	"bmx/internal/transport"
 )
 
 // ReclaimStats summarizes a from-space reuse round (§4.5).
@@ -72,8 +72,8 @@ func (c *Collector) ReclaimFromSpace(b addr.BunchID) ReclaimStats {
 			for _, m := range all {
 				bytes += m.WireBytes()
 			}
-			if _, err := c.net.Call(simnet.Msg{
-				From: c.node, To: peer, Kind: KindAddrChange, Class: simnet.ClassGC,
+			if _, err := c.net.Call(transport.Msg{
+				From: c.node, To: peer, Kind: KindAddrChange, Class: transport.ClassGC,
 				Payload: AddrChangeMsg{
 					From: c.node, Bunch: b, Seg: id,
 					Manifests: all, Headers: headers,

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"bmx/internal/addr"
-	"bmx/internal/simnet"
+	"bmx/internal/transport"
 )
 
 // Message kinds. The cluster routes incoming messages with these prefixes to
@@ -25,7 +25,7 @@ type acquireReq struct {
 	// object's bunch; it stamps entering-ownerPtr entries and intra-bunch
 	// scions created on the requester's behalf (see ssp.CreatedGen).
 	RequesterGen uint64
-	Class        simnet.Class
+	Class        transport.Class
 	Hops         int
 	// Piggyback carries the requester's pending location updates for the
 	// first node on the chain — GC information riding on a consistency
@@ -48,7 +48,7 @@ type acquireReply struct {
 
 type invalidateReq struct {
 	O     addr.OID
-	Class simnet.Class
+	Class transport.Class
 }
 
 // LocMsg carries location updates pushed down a distributed copy-set
@@ -62,7 +62,7 @@ type LocMsg struct {
 // Node is one site's DSM protocol engine.
 type Node struct {
 	id       addr.NodeID
-	net      *simnet.Network
+	net      transport.Transport
 	hooks    Hooks
 	objs     map[addr.OID]*ObjState
 	protocol Protocol
@@ -72,7 +72,7 @@ type Node struct {
 
 // NewNode creates the protocol engine for node id. The caller is responsible
 // for routing "dsm.*" messages from the network to HandleCall/HandleAsync.
-func NewNode(id addr.NodeID, net *simnet.Network, hooks Hooks, clusterSize int) *Node {
+func NewNode(id addr.NodeID, net transport.Transport, hooks Hooks, clusterSize int) *Node {
 	return &Node{
 		id:      id,
 		net:     net,
@@ -92,12 +92,12 @@ func (n *Node) ProtocolVariant() Protocol { return n.protocol }
 // ID returns this node's identifier.
 func (n *Node) ID() addr.NodeID { return n.id }
 
-func (n *Node) stats() *simnet.Stats { return n.net.Stats() }
+func (n *Node) stats() *transport.Stats { return n.net.Stats() }
 
 // Acquire obtains a read or write token for o on behalf of class (the
 // application, or — only ever in the baseline collectors — the GC). On
 // return the three invariants of §5 hold at this node.
-func (n *Node) Acquire(o addr.OID, mode Mode, class simnet.Class) error {
+func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 	if mode != ModeRead && mode != ModeWrite {
 		return fmt.Errorf("dsm: invalid acquire mode %v", mode)
 	}
@@ -150,7 +150,7 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class simnet.Class) error {
 	for _, m := range req.Piggyback {
 		pb += m.WireBytes()
 	}
-	raw, err := n.net.Call(simnet.Msg{
+	raw, err := n.net.Call(transport.Msg{
 		From: n.id, To: target, Kind: KindAcquire, Class: class,
 		Payload: req, Bytes: 32 + pb, Piggyback: pb,
 	})
@@ -167,7 +167,7 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class simnet.Class) error {
 		st.OwnerPtr = hint
 		req.Hops = 0
 		req.Piggyback = n.hooks.TakePendingManifests(hint)
-		raw, err = n.net.Call(simnet.Msg{
+		raw, err = n.net.Call(transport.Msg{
 			From: n.id, To: hint, Kind: KindAcquire, Class: class,
 			Payload: req, Bytes: 32, Piggyback: 0,
 		})
@@ -222,7 +222,7 @@ func (n *Node) Release(o addr.OID) {
 }
 
 // HandleCall serves synchronous DSM requests routed from the network.
-func (n *Node) HandleCall(m simnet.Msg) (any, int, error) {
+func (n *Node) HandleCall(m transport.Msg) (any, int, error) {
 	switch m.Kind {
 	case KindAcquire:
 		req := m.Payload.(acquireReq)
@@ -254,7 +254,7 @@ func (n *Node) HandleCall(m simnet.Msg) (any, int, error) {
 
 // HandleAsync consumes asynchronous DSM messages (copy-set location
 // forwarding).
-func (n *Node) HandleAsync(m simnet.Msg) {
+func (n *Node) HandleAsync(m transport.Msg) {
 	switch m.Kind {
 	case KindLocUpdate:
 		lm := m.Payload.(LocMsg)
@@ -293,7 +293,7 @@ func (n *Node) forwardAcquire(req acquireReq, st *ObjState) (acquireReply, error
 	fwd.Hops++
 	fwd.Piggyback = n.hooks.TakePendingManifests(st.OwnerPtr)
 	n.stats().Add("dsm.forwards", 1)
-	raw, err := n.net.Call(simnet.Msg{
+	raw, err := n.net.Call(transport.Msg{
 		From: n.id, To: st.OwnerPtr, Kind: KindAcquire, Class: req.Class,
 		Payload: fwd, Bytes: 32,
 	})
@@ -397,12 +397,12 @@ func (n *Node) serveInvalidate(req invalidateReq) {
 
 // invalidateCopySet revokes the read tokens this node granted, recursively
 // down the distributed copy-set tree.
-func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class simnet.Class) {
+func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class transport.Class) {
 	for _, c := range sortedNodes(st.CopySet) {
 		n.stats().Add(fmt.Sprintf("dsm.invalidation.%v", class), 1)
 		// Invalidations are synchronous: the write grant must not
 		// complete while consistent read copies remain.
-		if _, err := n.net.Call(simnet.Msg{
+		if _, err := n.net.Call(transport.Msg{
 			From: n.id, To: c, Kind: KindInvalidate, Class: class,
 			Payload: invalidateReq{O: o, Class: class}, Bytes: 16,
 		}); err != nil {
@@ -417,7 +417,7 @@ func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class simnet.Class) {
 // forwardManifests implements invariant 2: location updates received for o
 // are pushed to every node in the local copy-set, the same fan-out used to
 // invalidate read copies.
-func (n *Node) forwardManifests(o addr.OID, ms []Manifest, class simnet.Class) {
+func (n *Node) forwardManifests(o addr.OID, ms []Manifest, class transport.Class) {
 	if len(ms) == 0 {
 		return
 	}
@@ -430,7 +430,7 @@ func (n *Node) forwardManifests(o addr.OID, ms []Manifest, class simnet.Class) {
 		pb += m.WireBytes()
 	}
 	for _, c := range sortedNodes(st.CopySet) {
-		n.net.Send(simnet.Msg{
+		n.net.Send(transport.Msg{
 			From: n.id, To: c, Kind: KindLocUpdate, Class: class,
 			Payload: LocMsg{O: o, From: n.id, Manifests: ms},
 			Bytes:   8 + pb, Piggyback: pb,

@@ -1,4 +1,7 @@
-// Package simnet is the message substrate of the simulated BMX cluster.
+// Package simnet is the simulated message substrate of the BMX cluster — the
+// first implementation of the transport.Network interface the protocol
+// layers (internal/dsm, internal/core, internal/cluster) are written
+// against.
 //
 // The paper's system runs on a loosely coupled network of workstations. This
 // package reproduces the properties the GC design depends on, and nothing
@@ -24,8 +27,13 @@
 //     collector charge per-word copy costs), giving reproducible pause and
 //     overhead figures.
 //
-// Delivery of asynchronous messages is driven explicitly (Step/Run), which
-// keeps every test and benchmark deterministic.
+// Delivery of asynchronous messages is driven explicitly: Step/Run give the
+// deterministic single-driver order every test and benchmark relies on;
+// StepFor lets a concurrent driver drain each destination from its own
+// goroutine while preserving per-pair FIFO (cluster.RunConcurrent).
+//
+// The Network is safe for concurrent use by multiple nodes; handlers are
+// invoked without internal locks held, so they may freely send and call.
 package simnet
 
 import (
@@ -35,49 +43,39 @@ import (
 	"sync"
 
 	"bmx/internal/addr"
+	"bmx/internal/transport"
 )
 
-// Class attributes a message to the application or to the collector.
-type Class int
+// The message vocabulary is owned by the transport package; these aliases
+// keep simnet a drop-in name for tests and tools built against it.
+type (
+	// Class attributes a message to the application or to the collector.
+	Class = transport.Class
+	// Msg is one message on the simulated network.
+	Msg = transport.Msg
+	// Handler consumes an asynchronous message.
+	Handler = transport.Handler
+	// CallHandler serves a synchronous request and produces a reply.
+	CallHandler = transport.CallHandler
+	// Clock is the shared simulated tick clock.
+	Clock = transport.Clock
+	// Stopwatch measures a simulated-time interval.
+	Stopwatch = transport.Stopwatch
+	// Stats is the concurrency-safe counter registry.
+	Stats = transport.Stats
+)
 
+// Message classes (see transport.Class).
 const (
-	// ClassApp marks consistency-protocol traffic performed on behalf of
-	// applications (token requests, grants, invalidations).
-	ClassApp Class = iota
-	// ClassGC marks traffic that exists only for garbage collection
-	// (table messages, scion-messages, address-change rounds).
-	ClassGC
+	ClassApp = transport.ClassApp
+	ClassGC  = transport.ClassGC
 )
 
-// String names the class for stats keys.
-func (c Class) String() string {
-	switch c {
-	case ClassApp:
-		return "app"
-	case ClassGC:
-		return "gc"
-	default:
-		return fmt.Sprintf("class(%d)", int(c))
-	}
-}
+// NewStats returns an empty counter registry.
+func NewStats() *Stats { return transport.NewStats() }
 
-// Msg is one message on the simulated network.
-type Msg struct {
-	From, To  addr.NodeID
-	Kind      string // protocol-level message kind, e.g. "dsm.acquireWrite"
-	Class     Class
-	Seq       uint64 // per (From,To) stream sequence number
-	Payload   any
-	Bytes     int // simulated payload size in bytes
-	Piggyback int // bytes of GC information riding on an app message
-}
-
-// Handler consumes an asynchronous message.
-type Handler func(Msg)
-
-// CallHandler serves a synchronous request and produces a reply payload.
-// The returned reply size is the simulated size in bytes of the reply.
-type CallHandler func(Msg) (reply any, replyBytes int, err error)
+// StartWatch begins measuring simulated time on c.
+func StartWatch(c *Clock) Stopwatch { return transport.StartWatch(c) }
 
 // Options configures a Network.
 type Options struct {
@@ -100,9 +98,8 @@ type queue struct {
 // It is safe for concurrent use; handlers are invoked without internal locks
 // held, so they may freely send and call.
 type Network struct {
-	opts Options
-
 	mu       sync.Mutex
+	opts     Options
 	rng      *rand.Rand
 	handlers map[addr.NodeID]Handler
 	callees  map[addr.NodeID]CallHandler
@@ -111,6 +108,9 @@ type Network struct {
 	clock *Clock
 	stats *Stats
 }
+
+// Network implements the full driver-paced transport contract.
+var _ transport.Network = (*Network)(nil)
 
 // New creates a network with the given options.
 func New(opts Options) *Network {
@@ -185,12 +185,13 @@ func (nw *Network) Send(m Msg) bool {
 func (nw *Network) Call(m Msg) (any, error) {
 	nw.mu.Lock()
 	h := nw.callees[m.To]
+	lat := nw.opts.CallLatency
 	nw.mu.Unlock()
 	if h == nil {
 		return nil, fmt.Errorf("simnet: no call handler registered for %v", m.To)
 	}
 
-	nw.clock.Advance(nw.opts.CallLatency)
+	nw.clock.Advance(lat)
 	nw.stats.Add("msg.sent."+m.Class.String(), 1)
 	nw.stats.Add("msg.sent.kind."+m.Kind, 1)
 	nw.stats.Add("bytes.sent."+m.Class.String(), int64(m.Bytes))
@@ -198,7 +199,7 @@ func (nw *Network) Call(m Msg) (any, error) {
 
 	reply, replyBytes, err := h(m)
 
-	nw.clock.Advance(nw.opts.CallLatency)
+	nw.clock.Advance(lat)
 	nw.stats.Add("msg.sent."+m.Class.String(), 1)
 	nw.stats.Add("msg.sent.kind."+m.Kind+".reply", 1)
 	nw.stats.Add("bytes.sent."+m.Class.String(), int64(replyBytes))
@@ -216,20 +217,17 @@ func (nw *Network) Pending() int {
 	return n
 }
 
-// Step delivers the oldest asynchronous message of one stream, chosen in a
-// deterministic order across streams, and reports whether anything was
-// delivered. The handler runs without network locks held.
-func (nw *Network) Step() bool {
-	nw.mu.Lock()
+// pop removes and returns the oldest message of the lowest-ordered non-empty
+// stream accepted by keep. It must be called with nw.mu held.
+func (nw *Network) pop(keep func(pair) bool) (Msg, Handler, bool) {
 	var ps []pair
 	for p, q := range nw.queues {
-		if len(q.msgs) > 0 {
+		if len(q.msgs) > 0 && keep(p) {
 			ps = append(ps, p)
 		}
 	}
 	if len(ps) == 0 {
-		nw.mu.Unlock()
-		return false
+		return Msg{}, nil, false
 	}
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].from != ps[j].from {
@@ -240,14 +238,46 @@ func (nw *Network) Step() bool {
 	q := nw.queues[ps[0]]
 	m := q.msgs[0]
 	q.msgs = q.msgs[1:]
-	h := nw.handlers[m.To]
-	nw.mu.Unlock()
+	return m, nw.handlers[m.To], true
+}
 
+// dispatch charges the delivery latency, accounts the delivery and invokes
+// the handler without network locks held.
+func (nw *Network) dispatch(m Msg, h Handler) {
 	nw.clock.Advance(nw.opts.SendLatency)
 	nw.stats.Add("msg.delivered", 1)
 	if h != nil {
 		h(m)
 	}
+}
+
+// Step delivers the oldest asynchronous message of one stream, chosen in a
+// deterministic order across streams, and reports whether anything was
+// delivered. The handler runs without network locks held.
+func (nw *Network) Step() bool {
+	nw.mu.Lock()
+	m, h, ok := nw.pop(func(pair) bool { return true })
+	nw.mu.Unlock()
+	if !ok {
+		return false
+	}
+	nw.dispatch(m, h)
+	return true
+}
+
+// StepFor delivers the oldest asynchronous message destined to dst (lowest
+// sender first among dst's non-empty streams) and reports whether anything
+// was delivered. Because each (from, to) stream has a single queue, a driver
+// that gives every destination exactly one draining goroutine preserves
+// per-pair FIFO while delivering to different nodes concurrently.
+func (nw *Network) StepFor(dst addr.NodeID) bool {
+	nw.mu.Lock()
+	m, h, ok := nw.pop(func(p pair) bool { return p.to == dst })
+	nw.mu.Unlock()
+	if !ok {
+		return false
+	}
+	nw.dispatch(m, h)
 	return true
 }
 

@@ -1,0 +1,45 @@
+package transport
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestProtocolLayersDoNotImportSimnet pins the point of the Transport
+// interface: the DSM engine and the collector are written against this
+// package only. A direct dependency on the simulated network creeping back
+// into either would silently re-couple the protocol layers to one substrate.
+func TestProtocolLayersDoNotImportSimnet(t *testing.T) {
+	const forbidden = "bmx/internal/simnet"
+	for _, pkg := range []string{"../dsm", "../core"} {
+		entries, err := os.ReadDir(pkg)
+		if err != nil {
+			t.Fatalf("reading %s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(pkg, name)
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatalf("%s: bad import path %s: %v", path, imp.Path.Value, err)
+				}
+				if p == forbidden {
+					t.Errorf("%s imports %q; protocol layers must depend only on bmx/internal/transport", path, forbidden)
+				}
+			}
+		}
+	}
+}

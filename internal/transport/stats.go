@@ -1,4 +1,4 @@
-package simnet
+package transport
 
 import (
 	"fmt"
