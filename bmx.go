@@ -120,8 +120,46 @@ const (
 // Stats is the cluster-wide counter registry.
 type Stats = transport.Stats
 
+// Class partitions network traffic into application (consistency) and GC
+// messages for accounting and fault injection.
+type Class = transport.Class
+
+// Traffic classes.
+const (
+	ClassApp = transport.ClassApp
+	ClassGC  = transport.ClassGC
+)
+
+// FaultPlan declares the faults the simulated network injects: per-class and
+// per-kind drop/duplication/delay rates plus node-pair partitions. Install
+// one with Config.Faults or Cluster.SetFaultPlan. The §6.1 robustness claim
+// is that GC traffic stays correct under all of them.
+type FaultPlan = transport.FaultPlan
+
+// FaultRates is one drop/duplicate/delay probability triple of a FaultPlan.
+type FaultRates = transport.FaultRates
+
+// NodePair names an unordered pair of nodes in a FaultPlan partition list.
+type NodePair = transport.NodePair
+
+// ErrPartitioned distinguishes a synchronous call that failed because the
+// two endpoints are partitioned; callers match it with errors.Is.
+var ErrPartitioned = transport.ErrPartitioned
+
+// ChaosConfig parametrizes a seeded chaos soak: a mixed mutator+GC storm
+// under a randomized fault schedule, followed by heal, drain and a full
+// invariant audit.
+type ChaosConfig = cluster.ChaosConfig
+
+// ChaosReport is the outcome of a chaos soak; Violations is empty iff the
+// cluster converged after heal and drain.
+type ChaosReport = cluster.ChaosReport
+
 // New builds a cluster.
 func New(cfg Config) *Cluster { return cluster.New(cfg) }
+
+// RunChaos runs the seeded chaos soak.
+func RunChaos(cfg ChaosConfig) ChaosReport { return cluster.RunChaos(cfg) }
 
 // DefaultCosts returns the default relative GC cost model.
 func DefaultCosts() Costs { return core.DefaultCosts() }

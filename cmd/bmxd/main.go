@@ -37,6 +37,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload and loss seed")
 		workers  = flag.Int("workers", 1, "parallel mutator goroutines (>1 switches to the concurrent disjoint-bunch workload)")
 		verbose  = flag.Bool("v", false, "print per-round progress")
+
+		chaos      = flag.Bool("chaos", false, "run the seeded chaos soak instead of the workload driver")
+		chaosSteps = flag.Int("chaos-steps", 400, "chaos: workload steps in the fault storm")
+		dup        = flag.Float64("dup", 0, "chaos: message duplication probability")
+		delay      = flag.Float64("delay", 0, "chaos: message delay probability")
+		delayTicks = flag.Uint64("delay-ticks", 3, "chaos: ticks a delayed message is held")
+		partEvery  = flag.Int("partition-every", 40, "chaos: cut a random node pair every N steps (0 = never)")
+		partFor    = flag.Int("partition-for", 12, "chaos: heal each cut after N steps")
 	)
 	flag.Parse()
 
@@ -61,6 +69,14 @@ func main() {
 	if *workers > 1 && coarse {
 		fmt.Fprintln(os.Stderr, "bmxd: segment-grain tokens support the deterministic single driver only (-workers 1)")
 		os.Exit(2)
+	}
+	if *chaos {
+		runChaos(chaosOpts{
+			nodes: *nodes, steps: *chaosSteps, seed: *seed, proto: proto,
+			drop: *loss, dup: *dup, delay: *delay, delayTicks: *delayTicks,
+			partEvery: *partEvery, partFor: *partFor,
+		})
+		return
 	}
 	if *workers > *nodes {
 		*nodes = *workers
@@ -183,6 +199,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bmxd: COLLECTOR INTERFERED WITH THE CONSISTENCY PROTOCOL")
 		os.Exit(1)
 	}
+}
+
+type chaosOpts struct {
+	nodes, steps       int
+	seed               int64
+	proto              bmx.Protocol
+	drop, dup, delay   float64
+	delayTicks         uint64
+	partEvery, partFor int
+}
+
+// runChaos runs the seeded chaos soak: the mixed mutator+GC storm under
+// drop/duplication/delay and a rolling partition schedule, then heal, drain
+// and the convergence audit. Exit status 1 if the cluster failed to converge.
+func runChaos(o chaosOpts) {
+	rep := bmx.RunChaos(bmx.ChaosConfig{
+		Nodes: o.nodes, Steps: o.steps, Seed: o.seed, Consistency: o.proto,
+		Faults: bmx.FaultPlan{Default: bmx.FaultRates{
+			Drop: o.drop, Dup: o.dup, Delay: o.delay, DelayTicks: o.delayTicks,
+		}},
+		PartitionEvery: o.partEvery, PartitionFor: o.partFor,
+	})
+	fmt.Printf("chaos soak: %d nodes, %d steps, seed %d, drop %.0f%%, dup %.0f%%, delay %.0f%% (%d ticks)\n",
+		o.nodes, rep.Steps, o.seed, o.drop*100, o.dup*100, o.delay*100, o.delayTicks)
+	fmt.Printf("ops %d (failed %d, of which partitioned %d), partitions cut %d, collections %d, reclaims %d\n",
+		rep.Ops, rep.OpErrors, rep.PartitionedOps, rep.Partitions, rep.Collections, rep.Reclaims)
+	fmt.Printf("faults injected: duplicated %d, delayed %d, partitioned %d, lost %d\n",
+		rep.Stats["msg.dup"], rep.Stats["msg.delayed"], rep.Stats["msg.partitioned"], rep.Stats["msg.lost"])
+	fmt.Printf("simulated ticks: %d\n", rep.ClockTicks)
+	if len(rep.Violations) == 0 {
+		fmt.Println("converged: all invariants hold after heal and drain")
+		return
+	}
+	fmt.Printf("FAILED to converge: %d violations\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Println("  " + v)
+	}
+	os.Exit(1)
 }
 
 // runParallel exercises the per-node locking payoff: one mutator goroutine

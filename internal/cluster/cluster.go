@@ -58,6 +58,10 @@ type Config struct {
 	// simnet.Network built from the Seed/LossRate/latency fields above —
 	// the deterministic simulated cluster.
 	Transport transport.Network
+	// Faults is the initial fault-injection plan (drop/duplicate/delay
+	// rates and node-pair partitions) installed on the transport. A zero
+	// plan installs nothing, so existing configurations are unaffected.
+	Faults transport.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +144,9 @@ func New(cfg Config) *Cluster {
 			CallLatency: cfg.CallLatency,
 		})
 	}
+	if !cfg.Faults.Zero() {
+		net.SetFaultPlan(cfg.Faults)
+	}
 	cl := &Cluster{cfg: cfg, net: net}
 	cl.dir = core.NewDirectory(mem.NewAllocator(cfg.SegWords))
 	for i := 0; i < cfg.Nodes; i++ {
@@ -179,8 +186,41 @@ func (cl *Cluster) Clock() *transport.Clock { return cl.net.Clock() }
 // tools and experiments).
 func (cl *Cluster) Directory() *core.Directory { return cl.dir }
 
-// SetLossRate changes the background-message drop probability.
-func (cl *Cluster) SetLossRate(p float64) { cl.net.SetLossRate(p) }
+// SetLossRate changes the background-message drop probability. The rate is
+// clamped to [0, 1] (NaN and negative values become 0) and the effective
+// rate actually installed is returned.
+func (cl *Cluster) SetLossRate(p float64) float64 { return cl.net.SetLossRate(p) }
+
+// SetFaultPlan installs a fault-injection plan (drop/duplicate/delay rates
+// and node-pair partitions) on the cluster's transport, replacing any
+// previous plan.
+func (cl *Cluster) SetFaultPlan(fp transport.FaultPlan) { cl.net.SetFaultPlan(fp) }
+
+// Faults returns a copy of the transport's current fault plan.
+func (cl *Cluster) Faults() transport.FaultPlan { return cl.net.Faults() }
+
+// Partition cuts connectivity between nodes i and j: background sends
+// between them are dropped (consuming their stream sequence numbers) and
+// synchronous calls fail with an error wrapping transport.ErrPartitioned.
+func (cl *Cluster) Partition(i, j int) {
+	fp := cl.net.Faults()
+	fp.Partition(addr.NodeID(i), addr.NodeID(j))
+	cl.net.SetFaultPlan(fp)
+}
+
+// Heal restores connectivity between nodes i and j.
+func (cl *Cluster) Heal(i, j int) {
+	fp := cl.net.Faults()
+	fp.Heal(addr.NodeID(i), addr.NodeID(j))
+	cl.net.SetFaultPlan(fp)
+}
+
+// HealAll removes every declared partition, leaving rates untouched.
+func (cl *Cluster) HealAll() {
+	fp := cl.net.Faults()
+	fp.HealAll()
+	cl.net.SetFaultPlan(fp)
+}
 
 // Step delivers one pending background message; Run drains them all. The
 // network's own lock orders concurrent deliveries; each handler runs under
@@ -317,6 +357,17 @@ func (n *Node) mapBunchLocked(b addr.BunchID) error {
 	rep := raw.(mapBunchReply)
 	heap := n.col.Heap()
 	for _, img := range rep.Images {
+		if heap.Seg(img.ID) != nil {
+			// Already mapped locally: a node that allocated into the bunch
+			// (it created segments via moveOwnedObject without being a
+			// replica holder) has canonical objects here the serving node
+			// may not have heard of yet. Importing the remote image would
+			// erase those headers and reset the bump pointer, so later
+			// allocations alias live addresses. Keep the local replica —
+			// weak consistency lets it lag, and invariant 1 repairs any
+			// stale word at the next acquire.
+			continue
+		}
 		meta := n.cl.dir.Allocator().Meta(img.ID)
 		seg := heap.MapSegment(meta)
 		seg.Import(img)

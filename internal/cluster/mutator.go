@@ -134,8 +134,17 @@ func (n *Node) WriteRef(obj Ref, i int, target Ref) error {
 			return fmt.Errorf("cluster: %v holds no address for %v", n.id, target)
 		}
 	}
-	n.col.Heap().SetField(a, i, uint64(ta), !target.IsNil())
-	n.col.WriteBarrier(obj.OID, target.OID)
+	heap := n.col.Heap()
+	oldWord, oldRef := heap.GetField(a, i), heap.IsRefField(a, i)
+	heap.SetField(a, i, uint64(ta), !target.IsNil())
+	if err := n.col.WriteBarrier(obj.OID, target.OID); err != nil {
+		// The protecting SSP could not be constructed (every candidate
+		// scion host unreachable, e.g. across a partition): undo the store
+		// so no unprotected inter-bunch reference remains, and surface the
+		// failure — the caller retries after the fault heals.
+		heap.SetField(a, i, oldWord, oldRef)
+		return err
+	}
 	n.col.NoteWrite(obj.OID)
 	n.logWrite(obj.OID, a, i)
 	return nil
@@ -149,7 +158,9 @@ func (n *Node) WriteWord(obj Ref, i int, v uint64) error {
 		return err
 	}
 	n.col.Heap().SetField(a, i, v, false)
-	n.col.WriteBarrier(obj.OID, addr.NilOID)
+	if err := n.col.WriteBarrier(obj.OID, addr.NilOID); err != nil {
+		return err // unreachable: a nil target needs no SSP
+	}
 	n.col.NoteWrite(obj.OID)
 	n.logWrite(obj.OID, a, i)
 	return nil

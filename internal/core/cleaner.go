@@ -29,7 +29,16 @@ type tableKey struct {
 func (c *Collector) ApplyTable(msg ssp.TableMsg) {
 	k := tableKey{msg.From, msg.Bunch}
 	if msg.Gen <= c.recvGen[k] {
-		c.stats().Add("core.cleaner.stale", 1)
+		// The generation watermark absorbs both kinds of harmless
+		// redelivery: a duplicate (same Seq resent by the transport,
+		// Gen == watermark) and a stale table overtaken by a newer one
+		// (Gen < watermark). Distinguishing them in the stats makes
+		// duplication injection observable.
+		if msg.Gen == c.recvGen[k] {
+			c.stats().Add("core.cleaner.dup", 1)
+		} else {
+			c.stats().Add("core.cleaner.stale", 1)
+		}
 		return
 	}
 	c.recvGen[k] = msg.Gen

@@ -269,31 +269,40 @@ func (c *Collector) rememberTombstones(hs []SegHeader) {
 // application write, §3.2/§8). If the store created an inter-bunch
 // reference, the corresponding SSP is constructed immediately: locally when
 // the target bunch is mapped here, otherwise through a scion-message to a
-// node mapping the target bunch.
-func (c *Collector) WriteBarrier(src, target addr.OID) {
+// node mapping the target bunch. An error means the SSP could NOT be
+// installed (every candidate scion host was unreachable): the caller must
+// not complete the store, or the reference would be unprotected.
+func (c *Collector) WriteBarrier(src, target addr.OID) error {
 	c.stats().Add("core.barrier.writes", 1)
 	if target.IsNil() {
-		return
+		return nil
 	}
 	sb, tb := c.dir.BunchOf(src), c.dir.BunchOf(target)
 	if sb == tb || tb == addr.NoBunch {
-		return
+		return nil
 	}
-	c.ensureInterSSP(src, sb, target, tb)
+	if err := c.ensureInterSSP(src, sb, target, tb); err != nil {
+		return err
+	}
 	c.stats().Add("core.barrier.interBunch", 1)
+	return nil
 }
 
 // ensureInterSSP constructs the inter-bunch SSP for a reference from src
 // (in bunch sb) to target (in bunch tb), unless it already exists: the stub
 // locally, the scion either locally (target bunch mapped here) or at a node
-// mapping the target bunch via an acknowledged scion-message (§3.2).
-func (c *Collector) ensureInterSSP(src addr.OID, sb addr.BunchID, target addr.OID, tb addr.BunchID) {
+// mapping the target bunch via an acknowledged scion-message (§3.2). Any
+// replica holder can host the scion, so if the preferred host is
+// unreachable the remaining holders are tried in turn; only when every
+// candidate fails is the error surfaced (and no stub recorded — the barrier
+// refuses the store rather than leave the reference unprotected).
+func (c *Collector) ensureInterSSP(src addr.OID, sb addr.BunchID, target addr.OID, tb addr.BunchID) error {
 	rep := c.Replica(sb)
 	stub := ssp.InterStub{
 		SrcOID: src, SrcBunch: sb, TargetOID: target, TargetBunch: tb,
 	}
 	if _, exists := rep.Table.InterStubs[stub.Key()]; exists {
-		return // one SSP per (source, target) pair suffices (§3.1)
+		return nil // one SSP per (source, target) pair suffices (§3.1)
 	}
 	scion := ssp.InterScion{
 		TargetOID: target, TargetBunch: tb, SrcOID: src, SrcBunch: sb,
@@ -303,36 +312,53 @@ func (c *Collector) ensureInterSSP(src addr.OID, sb addr.BunchID, target addr.OI
 		// Both bunches mapped locally: create both halves in place.
 		stub.ScionNode = c.node
 		c.Replica(tb).Table.AddInterScion(scion)
-	} else {
-		// Send a scion-message to a node where the target bunch is
-		// mapped (§3.2). This is one of the few genuine GC messages; it
-		// is acknowledged so the reference is never unprotected.
-		dst := c.scionHost(tb)
-		stub.ScionNode = dst
-		msg := ssp.ScionMsg{Scion: scion}
+		rep.Table.AddInterStub(stub)
+		return nil
+	}
+	// Send a scion-message to a node where the target bunch is mapped
+	// (§3.2). This is one of the few genuine GC messages; it is
+	// acknowledged so the reference is never unprotected.
+	hosts := c.scionHosts(tb)
+	if len(hosts) == 0 {
+		return fmt.Errorf("core: bunch %v has no replica to host a scion", tb)
+	}
+	msg := ssp.ScionMsg{Scion: scion}
+	var lastErr error
+	for _, dst := range hosts {
 		if _, err := c.net.Call(transport.Msg{
 			From: c.node, To: dst, Kind: KindScion, Class: transport.ClassGC,
 			Payload: msg, Bytes: msg.WireBytes(),
 		}); err != nil {
-			panic(fmt.Sprintf("core: scion-message to %v failed: %v", dst, err))
+			c.stats().Add("core.scionMsgs.failed", 1)
+			lastErr = err
+			continue
 		}
+		stub.ScionNode = dst
+		rep.Table.AddInterStub(stub)
 		c.stats().Add("core.scionMsgs", 1)
+		return nil
 	}
-	rep.Table.AddInterStub(stub)
+	return fmt.Errorf("core: scion-message for %v -> %v failed at every replica of %v: %w",
+		src, target, tb, lastErr)
 }
 
-// scionHost picks the node that will hold the scion for a reference into
-// bunch tb: the bunch's creator if it still holds a replica, else the
-// lowest-numbered replica holder.
-func (c *Collector) scionHost(tb addr.BunchID) addr.NodeID {
-	if creator := c.dir.Creator(tb); c.dir.HasReplica(tb, creator) {
-		return creator
+// scionHosts lists the candidate nodes for hosting a scion for references
+// into bunch tb, in preference order: the bunch's creator first (if it
+// still holds a replica), then the remaining replica holders ascending.
+// Every holder has the bunch's table, so any of them is a correct host —
+// the order only biases scions toward the creator.
+func (c *Collector) scionHosts(tb addr.BunchID) []addr.NodeID {
+	var hosts []addr.NodeID
+	creator := c.dir.Creator(tb)
+	if c.dir.HasReplica(tb, creator) {
+		hosts = append(hosts, creator)
 	}
-	reps := c.dir.Replicas(tb)
-	if len(reps) == 0 {
-		panic(fmt.Sprintf("core: bunch %v has no replica to host a scion", tb))
+	for _, r := range c.dir.Replicas(tb) {
+		if r != creator {
+			hosts = append(hosts, r)
+		}
 	}
-	return reps[0]
+	return hosts
 }
 
 // NoteWrite records a mutation for the concurrent collector's log (O'Toole:

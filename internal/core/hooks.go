@@ -24,6 +24,13 @@ func (c *Collector) manifestOf(o addr.OID) (dsm.Manifest, bool) {
 	}
 	size := 0
 	if c.heap.Mapped(a) && c.heap.IsObjectAt(a) {
+		if c.heap.ObjOID(a) != o {
+			// Stale canonical into a reused address range: advertising it
+			// would spread the bogus location to every peer the manifest
+			// reaches.
+			c.stats().Add("core.loc.staleCanonical", 1)
+			return dsm.Manifest{}, false
+		}
 		size = c.heap.ObjSize(a)
 	} else if info, ok := c.dir.Object(o); ok {
 		size = info.Size
@@ -81,6 +88,9 @@ func (c *Collector) applyManifest(m dsm.Manifest, from addr.NodeID) {
 	// foreign manifest must not move it (only the owner copies an object,
 	// §4.2).
 	if c.dsm.IsOwner(m.OID) {
+		if m.OID == TraceOID {
+			fmt.Printf("TRACEOID %v: manifest at %v skipped (owner)\n", m.OID, c.node)
+		}
 		return
 	}
 	// Out-of-order protection: background messages from different senders
@@ -88,6 +98,9 @@ func (c *Collector) applyManifest(m dsm.Manifest, from addr.NodeID) {
 	// move the canonical address backward and plant a stale forwarding
 	// pointer over good data.
 	if m.Epoch < c.locEpoch[m.OID] {
+		if m.OID == TraceOID {
+			fmt.Printf("TRACEOID %v: manifest at %v stale epoch %d < %d\n", m.OID, c.node, m.Epoch, c.locEpoch[m.OID])
+		}
 		c.stats().Add("core.loc.staleEpoch", 1)
 		return
 	}
@@ -113,12 +126,27 @@ func (c *Collector) applyManifest(m dsm.Manifest, from addr.NodeID) {
 	if known && cur == m.Addr {
 		return // idempotent re-delivery
 	}
+	// Address-space reuse protection: a segment freed by the §4.5 protocol
+	// can be reallocated, so a sufficiently delayed manifest may name an
+	// address that now holds a *different* object's header. Epochs cannot
+	// catch this (they are per-object); identity can. Adopting the address
+	// anyway would alias two objects onto one header, and a later manifest
+	// for the stale object would then plant a forwarding pointer on — and
+	// copy data out of — the innocent resident.
+	if c.heap.IsObjectAt(m.Addr) && c.heap.ObjOID(m.Addr) != m.OID {
+		c.stats().Add("core.loc.reusedAddr", 1)
+		return
+	}
 	if !c.heap.IsObjectAt(m.Addr) {
 		c.heap.Materialize(m.Addr, m.OID, m.Size)
 	}
 	if known && cur != m.Addr {
 		src := c.heap.Resolve(cur)
-		if src != m.Addr && c.heap.Mapped(src) && c.heap.IsObjectAt(src) {
+		if src != m.Addr && c.heap.Mapped(src) && c.heap.IsObjectAt(src) &&
+			c.heap.ObjOID(src) == m.OID {
+			if m.OID == TraceOID {
+				fmt.Printf("TRACEOID %v: manifest at %v applied src=%v (cur=%v) fwd -> %v\n", m.OID, c.node, src, cur, m.Addr)
+			}
 			c.heap.CopyObject(src, m.Addr)
 			c.heap.SetFwd(src, m.Addr)
 		}
@@ -163,11 +191,21 @@ func (c *Collector) InstallImage(img dsm.ObjectImage, from addr.NodeID) {
 	}
 	c.applyManifest(img.Manifest, from)
 	a, ok := c.heap.Canonical(img.OID)
+	if img.OID == TraceOID {
+		fmt.Printf("TRACEOID %v: InstallImage at %v from %v manAddr=%v canonical=%v ok=%v\n",
+			img.OID, c.node, from, img.Addr, a, ok)
+	}
 	if !ok || !c.heap.Mapped(a) {
 		return
 	}
 	if !c.heap.IsObjectAt(a) {
 		c.heap.Materialize(a, img.OID, img.Size)
+	}
+	if c.heap.ObjOID(a) != img.OID {
+		// Stale canonical into a reused address range: writing the image
+		// here would corrupt the object now resident at this address.
+		c.stats().Add("core.loc.staleCanonical", 1)
+		return
 	}
 	// The canonical location now holds the authoritative consistent copy:
 	// a local forwarding pointer left here by an out-of-order location
@@ -257,7 +295,13 @@ func (c *Collector) PrepareOwnershipTransfer(o addr.OID, newOwner addr.NodeID, n
 func (c *Collector) ApplyIntraSSP(req *dsm.IntraSSPReq) {
 	if len(req.Replicate) > 0 {
 		for _, r := range req.Replicate {
-			c.ensureInterSSP(r.SrcOID, req.Bunch, r.TargetOID, r.TargetBunch)
+			if err := c.ensureInterSSP(r.SrcOID, req.Bunch, r.TargetOID, r.TargetBunch); err != nil {
+				// The stub being replicated still exists at the old owner,
+				// so the target stays protected; the replica is re-attempted
+				// on the next ownership transfer.
+				c.stats().Add("core.ssp.replicateFailed", 1)
+				continue
+			}
 			c.stats().Add("core.ssp.replicated", 1)
 		}
 		return

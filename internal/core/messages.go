@@ -184,6 +184,15 @@ func (c *Collector) moveOwnedObject(o addr.OID) (dsm.Manifest, bool) {
 	if !ok || !c.heap.Mapped(old) || !c.heap.IsObjectAt(old) {
 		return dsm.Manifest{}, false
 	}
+	if c.heap.ObjOID(old) != o {
+		// The canonical address is stale: the segment under it was freed
+		// (in a round this node missed, e.g. across a partition) and the
+		// address range reused by a different object. Copying from here
+		// would clone the resident's bytes under o's identity and plant a
+		// forwarding pointer on the resident's header.
+		c.stats().Add("core.gc.staleCanonical", 1)
+		return dsm.Manifest{}, false
+	}
 	if c.heap.Forwarded(old) {
 		// Already moved; report the current location.
 		man, ok := c.manifestOf(o)
@@ -201,6 +210,9 @@ func (c *Collector) moveOwnedObject(o addr.OID) (dsm.Manifest, bool) {
 	}
 	for i := 0; i < size; i++ {
 		c.heap.SetField(to, i, c.heap.GetField(old, i), c.heap.IsRefField(old, i))
+	}
+	if o == TraceOID {
+		fmt.Printf("TRACEOID %v: moveOwnedObject at %v %v -> %v\n", o, c.node, old, to)
 	}
 	c.heap.SetFwd(old, to)
 	c.heap.SetCanonical(o, to)
@@ -413,6 +425,12 @@ func (c *Collector) dropCanonicalsIn(seg addr.SegID) {
 					c.heap.Forwarded(a), c.heap.IsObjectAt(a))
 			}
 			c.heap.DropObject(o)
+			if c.heap.IsObjectAt(a) && c.heap.ObjOID(a) != o {
+				// The address was reused under a stale canonical: only the
+				// pointer is bogus, the protocol state (ownership, copy-set,
+				// entering ownerPtrs) is still real and still routes.
+				continue
+			}
 			c.dsm.Forget(o)
 			c.stats().Add("core.reclaim.staleDropped", 1)
 		}

@@ -62,7 +62,14 @@ func (c *Collector) ReclaimFromSpace(b addr.BunchID) ReclaimStats {
 		}
 
 		// 2. Synchronous address-change round with every node holding any
-		// of the bunch's content.
+		// of the bunch's content. If any holder is unreachable (e.g.
+		// across a partition) the round for this segment is aborted: the
+		// segment goes back on the from-space list and stays mapped —
+		// forwarding pointers keep working, exactly the state §4.5 allows
+		// between a flip and reuse — and a later ReclaimFromSpace retries.
+		// Holders that already processed the round reprocess it then;
+		// evacuation and unmap/remap are idempotent, so the retry is safe.
+		aborted := false
 		for _, peer := range c.dir.Holders(b) {
 			if peer == c.node {
 				continue
@@ -80,9 +87,15 @@ func (c *Collector) ReclaimFromSpace(b addr.BunchID) ReclaimStats {
 				},
 				Bytes: bytes + 16*len(headers),
 			}); err != nil {
-				panic(fmt.Sprintf("core: address-change round with %v failed: %v", peer, err))
+				c.stats().Add("core.reclaim.aborted", 1)
+				aborted = true
+				break
 			}
 			c.stats().Add("core.reclaim.rounds", 1)
+		}
+		if aborted {
+			rep.fromSegs = append(rep.fromSegs, id)
+			continue
 		}
 
 		if debugReclaim {

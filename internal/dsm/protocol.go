@@ -112,8 +112,13 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 	}
 	if st.Owner {
 		if mode == ModeWrite {
-			// Upgrading owner: revoke outstanding read tokens.
-			n.invalidateCopySet(o, st, class)
+			// Upgrading owner: revoke outstanding read tokens. If a reader
+			// is unreachable the upgrade is refused (the reader keeps its
+			// consistent copy); the survivors stay in the copy-set so a
+			// retry after the fault heals re-invalidates exactly them.
+			if err := n.invalidateCopySet(o, st, class); err != nil {
+				return err
+			}
 			st.Mode = ModeWrite
 			return nil
 		}
@@ -245,7 +250,9 @@ func (n *Node) HandleCall(m transport.Msg) (any, int, error) {
 		return rep, bytes + pb, nil
 	case KindInvalidate:
 		req := m.Payload.(invalidateReq)
-		n.serveInvalidate(req)
+		if err := n.serveInvalidate(req); err != nil {
+			return nil, 0, err
+		}
 		return nil, 0, nil
 	default:
 		return nil, 0, fmt.Errorf("dsm: unknown call kind %q", m.Kind)
@@ -321,8 +328,12 @@ func (n *Node) grantAsOwner(req acquireReq, st *ObjState) (acquireReply, error) 
 	}
 
 	// Write grant: revoke all outstanding read tokens first, so possession
-	// of the write token means no other consistent copy exists (§2.2).
-	n.invalidateCopySet(req.O, st, req.Class)
+	// of the write token means no other consistent copy exists (§2.2). If
+	// a reader is unreachable the grant is refused — ownership stays here
+	// and the requester surfaces the error to its caller.
+	if err := n.invalidateCopySet(req.O, st, req.Class); err != nil {
+		return acquireReply{}, err
+	}
 
 	// Invariant 3: create the intra-bunch scion (if this node holds stubs
 	// for the object) before replying with the token.
@@ -386,32 +397,45 @@ func (n *Node) recordManifestEntering(ms []Manifest, req acquireReq) {
 	}
 }
 
-func (n *Node) serveInvalidate(req invalidateReq) {
+func (n *Node) serveInvalidate(req invalidateReq) error {
 	st := n.state(req.O)
-	n.invalidateCopySet(req.O, st, req.Class)
+	// Invalidate the local copy unconditionally (conservative: forcing a
+	// revalidation is always safe), then the subtree. If a child of the
+	// distributed copy-set is unreachable it stays in this node's copy-set
+	// and the error propagates up, so the writer's grant is refused while
+	// that child may still hold a consistent copy.
+	err := n.invalidateCopySet(req.O, st, req.Class)
 	if !st.Owner {
 		st.Mode = ModeInvalid
 	}
 	n.stats().Add(fmt.Sprintf("dsm.invalidated.%v", req.Class), 1)
+	return err
 }
 
 // invalidateCopySet revokes the read tokens this node granted, recursively
-// down the distributed copy-set tree.
-func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class transport.Class) {
+// down the distributed copy-set tree. Invalidations are synchronous: the
+// write grant must not complete while consistent read copies remain. A
+// member that cannot be reached (e.g. across a partition) therefore stays
+// in the copy-set — a later retry re-invalidates exactly the survivors —
+// and the error is surfaced so the grant or upgrade is refused rather than
+// completed with a possibly-consistent remote copy outstanding.
+func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class transport.Class) error {
+	var firstErr error
 	for _, c := range sortedNodes(st.CopySet) {
 		n.stats().Add(fmt.Sprintf("dsm.invalidation.%v", class), 1)
-		// Invalidations are synchronous: the write grant must not
-		// complete while consistent read copies remain.
 		if _, err := n.net.Call(transport.Msg{
 			From: n.id, To: c, Kind: KindInvalidate, Class: class,
 			Payload: invalidateReq{O: o, Class: class}, Bytes: 16,
 		}); err != nil {
-			// The simulated network cannot fail synchronous calls to
-			// registered nodes; an error here is a wiring bug.
-			panic(fmt.Sprintf("dsm: invalidate %v at %v: %v", o, c, err))
+			n.stats().Add("dsm.invalidation.failed", 1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dsm: invalidate %v at %v: %w", o, c, err)
+			}
+			continue
 		}
+		delete(st.CopySet, c)
 	}
-	st.CopySet = make(map[addr.NodeID]bool)
+	return firstErr
 }
 
 // forwardManifests implements invariant 2: location updates received for o

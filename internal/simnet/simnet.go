@@ -63,7 +63,17 @@ type (
 	Stopwatch = transport.Stopwatch
 	// Stats is the concurrency-safe counter registry.
 	Stats = transport.Stats
+	// FaultPlan declares drop/duplicate/delay rates and partitions.
+	FaultPlan = transport.FaultPlan
+	// FaultRates are per-message fault probabilities.
+	FaultRates = transport.FaultRates
+	// NodePair is an unordered pair of nodes cut by a partition.
+	NodePair = transport.NodePair
 )
+
+// ErrPartitioned is the sentinel error wrapped by failed calls across a
+// partition (see transport.ErrPartitioned).
+var ErrPartitioned = transport.ErrPartitioned
 
 // Message classes (see transport.Class).
 const (
@@ -79,19 +89,34 @@ func StartWatch(c *Clock) Stopwatch { return transport.StartWatch(c) }
 
 // Options configures a Network.
 type Options struct {
-	Seed        int64   // RNG seed for loss injection
-	LossRate    float64 // drop probability for asynchronous sends in [0,1)
+	Seed        int64   // RNG seed for fault injection
+	LossRate    float64 // drop probability for asynchronous sends, clamped to [0,1]
 	SendLatency uint64  // simulated ticks charged per async delivery
 	CallLatency uint64  // simulated ticks charged per synchronous leg
+
+	// Faults is the initial fault-injection plan (drop/duplicate/delay
+	// rates per class or kind, plus node-pair partitions). It can be
+	// replaced at runtime with SetFaultPlan. The zero plan injects nothing
+	// and draws nothing from the RNG.
+	Faults FaultPlan
 }
 
 type pair struct{ from, to addr.NodeID }
 
 func (p pair) String() string { return fmt.Sprintf("%v->%v", p.from, p.to) }
 
+// entry is one queued message plus the earliest simulated tick at which it
+// may be delivered (0 = immediately). Because entries are only ever appended
+// and popped from the head, a delayed entry blocks its stream's head rather
+// than being overtaken: per-pair FIFO survives delay injection.
+type entry struct {
+	m       Msg
+	readyAt uint64
+}
+
 type queue struct {
 	nextSeq uint64 // next sequence number to assign on this stream
-	msgs    []Msg
+	msgs    []entry
 }
 
 // Network is a deterministic simulated network connecting the cluster nodes.
@@ -100,6 +125,7 @@ type queue struct {
 type Network struct {
 	mu       sync.Mutex
 	opts     Options
+	plan     FaultPlan // always the sanitized copy of the installed plan
 	rng      *rand.Rand
 	handlers map[addr.NodeID]Handler
 	callees  map[addr.NodeID]CallHandler
@@ -112,10 +138,13 @@ type Network struct {
 // Network implements the full driver-paced transport contract.
 var _ transport.Network = (*Network)(nil)
 
-// New creates a network with the given options.
+// New creates a network with the given options. The loss rate and fault
+// plan are sanitized (probabilities clamped to [0, 1]).
 func New(opts Options) *Network {
+	opts.LossRate = transport.ClampProb(opts.LossRate)
 	return &Network{
 		opts:     opts,
+		plan:     opts.Faults.Sanitized(),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		handlers: make(map[addr.NodeID]Handler),
 		callees:  make(map[addr.NodeID]CallHandler),
@@ -140,18 +169,53 @@ func (nw *Network) Register(id addr.NodeID, h Handler, c CallHandler) {
 	nw.callees[id] = c
 }
 
-// SetLossRate changes the asynchronous drop probability at runtime.
-func (nw *Network) SetLossRate(p float64) {
+// SetLossRate changes the asynchronous drop probability at runtime. The
+// rate is clamped to [0, 1] — NaN and negative values become 0, values
+// above 1 become 1 (drop everything) — and the effective rate actually
+// installed is returned.
+func (nw *Network) SetLossRate(p float64) float64 {
+	p = transport.ClampProb(p)
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	nw.opts.LossRate = p
+	return p
+}
+
+// SetFaultPlan installs a fault-injection plan, replacing any previous one.
+// The plan is sanitized and deep-copied, so the caller may keep mutating its
+// own copy. Installing the zero plan disables injection and draws nothing
+// from the RNG, keeping deterministic runs byte-for-byte identical to runs
+// that never installed a plan.
+func (nw *Network) SetFaultPlan(fp FaultPlan) {
+	fp = fp.Sanitized()
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.plan = fp
+}
+
+// Faults returns a copy of the currently installed fault plan.
+func (nw *Network) Faults() FaultPlan {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.plan.Sanitized()
 }
 
 // Send enqueues an asynchronous message on the FIFO stream from m.From to
-// m.To, assigning its stream sequence number. Depending on the configured
-// loss rate the message may be dropped; a dropped message still consumes a
-// sequence number (the receiver observes a gap, never a reorder). Send
-// reports whether the message was enqueued.
+// m.To, assigning its stream sequence number. The installed loss rate,
+// fault plan and partitions may drop, duplicate or delay the message:
+//
+//   - A dropped or partitioned message still consumes a sequence number,
+//     so the receiver observes a gap, never a reorder.
+//   - A duplicated message is enqueued twice with the SAME sequence number
+//     (back to back on its stream), so the receiver sees a true wire-level
+//     redelivery, exactly what §6.1's idempotency claim must absorb.
+//   - A delayed message is held for DelayTicks of simulated time; it stays
+//     at its position in the stream, so the pair's delivery order is never
+//     reordered — the stream head simply becomes deliverable later.
+//
+// Every fault draw is gated on its rate being non-zero, so a zero plan
+// consumes no RNG and leaves deterministic runs unchanged. Send reports
+// whether the message was enqueued.
 func (nw *Network) Send(m Msg) bool {
 	nw.mu.Lock()
 	p := pair{m.From, m.To}
@@ -162,18 +226,53 @@ func (nw *Network) Send(m Msg) bool {
 	}
 	m.Seq = q.nextSeq
 	q.nextSeq++
-	lost := nw.opts.LossRate > 0 && nw.rng.Float64() < nw.opts.LossRate
-	if !lost {
-		q.msgs = append(q.msgs, m)
+
+	partitioned := nw.plan.Partitioned(m.From, m.To)
+	lost := false
+	dup := false
+	var readyAt uint64
+	if !partitioned {
+		lost = nw.opts.LossRate > 0 && nw.rng.Float64() < nw.opts.LossRate
+		if !lost {
+			r := nw.plan.RatesFor(m.Class, m.Kind)
+			if r.Drop > 0 && nw.rng.Float64() < r.Drop {
+				lost = true
+			} else {
+				if r.Dup > 0 && nw.rng.Float64() < r.Dup {
+					dup = true
+				}
+				if r.Delay > 0 && r.DelayTicks > 0 && nw.rng.Float64() < r.Delay {
+					readyAt = nw.clock.Now() + r.DelayTicks
+				}
+			}
+		}
+	}
+	if !partitioned && !lost {
+		q.msgs = append(q.msgs, entry{m: m, readyAt: readyAt})
+		if dup {
+			// The duplicate re-uses the original Seq: the receiver sees
+			// the same numbered message twice, not a new message.
+			q.msgs = append(q.msgs, entry{m: m, readyAt: readyAt})
+		}
 	}
 	nw.mu.Unlock()
 
 	nw.stats.Add("msg.sent."+m.Class.String(), 1)
 	nw.stats.Add("msg.sent.kind."+m.Kind, 1)
 	nw.stats.Add("bytes.sent."+m.Class.String(), int64(m.Bytes))
+	if partitioned {
+		nw.stats.Add("msg.partitioned", 1)
+		return false
+	}
 	if lost {
 		nw.stats.Add("msg.lost", 1)
 		return false
+	}
+	if dup {
+		nw.stats.Add("msg.dup", 1)
+	}
+	if readyAt > 0 {
+		nw.stats.Add("msg.delayed", 1)
 	}
 	return true
 }
@@ -182,11 +281,21 @@ func (nw *Network) Send(m Msg) bool {
 // destination node's call handler. The request and the reply each count as
 // one message of m.Class; piggybacked GC bytes are accounted separately so
 // that the cost of riding GC information on consistency messages is visible.
+//
+// Calls are never dropped, duplicated or delayed by the fault plan — they
+// model the reliable request/reply channel the consistency protocol is
+// written against — but a partition severs them: Call then returns an error
+// wrapping transport.ErrPartitioned, which callers must tolerate or surface.
 func (nw *Network) Call(m Msg) (any, error) {
 	nw.mu.Lock()
 	h := nw.callees[m.To]
 	lat := nw.opts.CallLatency
+	partitioned := nw.plan.Partitioned(m.From, m.To)
 	nw.mu.Unlock()
+	if partitioned {
+		nw.stats.Add("msg.partitioned", 1)
+		return nil, fmt.Errorf("simnet: call %s %v -> %v: %w", m.Kind, m.From, m.To, transport.ErrPartitioned)
+	}
 	if h == nil {
 		return nil, fmt.Errorf("simnet: no call handler registered for %v", m.To)
 	}
@@ -217,17 +326,51 @@ func (nw *Network) Pending() int {
 	return n
 }
 
-// pop removes and returns the oldest message of the lowest-ordered non-empty
-// stream accepted by keep. It must be called with nw.mu held.
+// pop removes and returns the oldest deliverable message of the
+// lowest-ordered non-empty stream accepted by keep. A stream whose head is
+// still held by delay injection is skipped (head-of-line blocking keeps the
+// stream FIFO); if every accepted stream is held, pop advances the clock to
+// the earliest head's release tick so driver-paced delivery always makes
+// progress. It must be called with nw.mu held.
 func (nw *Network) pop(keep func(pair) bool) (Msg, Handler, bool) {
-	var ps []pair
-	for p, q := range nw.queues {
-		if len(q.msgs) > 0 && keep(p) {
-			ps = append(ps, p)
+	now := nw.clock.Now()
+	ready := func() []pair {
+		var ps []pair
+		for p, q := range nw.queues {
+			if len(q.msgs) > 0 && keep(p) && q.msgs[0].readyAt <= now {
+				ps = append(ps, p)
+			}
 		}
+		return ps
 	}
+	ps := ready()
 	if len(ps) == 0 {
-		return Msg{}, nil, false
+		// No stream head is deliverable yet. If some accepted stream is
+		// merely held, release the earliest head by advancing simulated
+		// time; otherwise there is nothing to deliver.
+		minReady, found := uint64(0), false
+		for p, q := range nw.queues {
+			if len(q.msgs) > 0 && keep(p) {
+				if r := q.msgs[0].readyAt; !found || r < minReady {
+					minReady, found = r, true
+				}
+			}
+		}
+		if !found {
+			return Msg{}, nil, false
+		}
+		if minReady > now {
+			nw.clock.Advance(minReady - now)
+			now = minReady
+		} else {
+			// A concurrent driver advanced the clock between our two
+			// scans; the heads are deliverable at the current tick.
+			now = nw.clock.Now()
+		}
+		ps = ready()
+		if len(ps) == 0 {
+			return Msg{}, nil, false
+		}
 	}
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].from != ps[j].from {
@@ -236,7 +379,7 @@ func (nw *Network) pop(keep func(pair) bool) (Msg, Handler, bool) {
 		return ps[i].to < ps[j].to
 	})
 	q := nw.queues[ps[0]]
-	m := q.msgs[0]
+	m := q.msgs[0].m
 	q.msgs = q.msgs[1:]
 	return m, nw.handlers[m.To], true
 }

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"bmx/internal/addr"
+)
+
+// ErrPartitioned is the distinguishable error a transport returns (wrapped)
+// when a synchronous Call is refused because the two endpoints are on
+// opposite sides of a network partition. Protocol layers test for it with
+// errors.Is and either tolerate the failure (retry later, abort the round)
+// or surface it to the caller.
+var ErrPartitioned = errors.New("transport: endpoints partitioned")
+
+// FaultRates are the per-message fault probabilities a FaultPlan applies to
+// asynchronous sends. All probabilities are clamped to [0, 1] (NaN and
+// negative values become 0) when the plan is installed.
+//
+// Synchronous calls are never dropped, duplicated or delayed — the paper's
+// design needs unreliability only for the asynchronous GC background traffic
+// (§6.1); calls fail only under a partition.
+type FaultRates struct {
+	Drop  float64 // probability an async send is dropped (its Seq is still consumed)
+	Dup   float64 // probability an async send is enqueued twice with the SAME Seq
+	Delay float64 // probability an async send is held for DelayTicks before becoming deliverable
+
+	// DelayTicks is how many simulated clock ticks a delayed message is
+	// held. A held message never overtakes or is overtaken by messages of
+	// its own (from, to) stream: the stream stays FIFO, the head simply
+	// becomes deliverable later.
+	DelayTicks uint64
+}
+
+// zero reports whether the rates inject nothing.
+func (r FaultRates) zero() bool {
+	return r.Drop == 0 && r.Dup == 0 && r.Delay == 0
+}
+
+// sanitized returns r with every probability clamped to [0, 1].
+func (r FaultRates) sanitized() FaultRates {
+	r.Drop = ClampProb(r.Drop)
+	r.Dup = ClampProb(r.Dup)
+	r.Delay = ClampProb(r.Delay)
+	if r.Delay == 0 {
+		r.DelayTicks = 0
+	}
+	return r
+}
+
+// ClampProb coerces an arbitrary float into a usable probability: NaN and
+// negative values become 0, values above 1 become 1.
+func ClampProb(p float64) float64 {
+	if math.IsNaN(p) || p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// NodePair is an unordered pair of node IDs whose connectivity is cut by a
+// partition. The pair {A, B} and the pair {B, A} denote the same cut.
+type NodePair struct {
+	A, B addr.NodeID
+}
+
+// normalize returns the pair with the smaller ID first.
+func (p NodePair) normalize() NodePair {
+	if p.B < p.A {
+		p.A, p.B = p.B, p.A
+	}
+	return p
+}
+
+// FaultPlan declares the faults a Network injects into traffic. Rates are
+// resolved most-specific-first: ByKind overrides ByClass, which overrides
+// Default. Partitions cut both directions of every listed node pair:
+// asynchronous sends across a cut are dropped (still consuming their stream
+// sequence number, so receivers observe a gap, never a reorder) and
+// synchronous calls fail with an error wrapping ErrPartitioned.
+//
+// The zero FaultPlan injects nothing and draws nothing from the transport's
+// RNG, so installing it leaves a deterministic run byte-for-byte identical
+// to one that never installed a plan.
+type FaultPlan struct {
+	Default FaultRates
+	ByClass map[Class]FaultRates
+	ByKind  map[string]FaultRates
+
+	Partitions []NodePair
+}
+
+// RatesFor resolves the fault rates that apply to a message of the given
+// class and kind: ByKind wins over ByClass, which wins over Default.
+func (fp FaultPlan) RatesFor(c Class, kind string) FaultRates {
+	if r, ok := fp.ByKind[kind]; ok {
+		return r
+	}
+	if r, ok := fp.ByClass[c]; ok {
+		return r
+	}
+	return fp.Default
+}
+
+// Partitioned reports whether a and b are on opposite sides of a declared
+// cut. A node is never partitioned from itself.
+func (fp FaultPlan) Partitioned(a, b addr.NodeID) bool {
+	if a == b {
+		return false
+	}
+	want := NodePair{a, b}.normalize()
+	for _, p := range fp.Partitions {
+		if p.normalize() == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Partition adds the cut {a, b} if it is not already declared.
+func (fp *FaultPlan) Partition(a, b addr.NodeID) {
+	if a == b || fp.Partitioned(a, b) {
+		return
+	}
+	fp.Partitions = append(fp.Partitions, NodePair{a, b}.normalize())
+}
+
+// Heal removes the cut {a, b} if present.
+func (fp *FaultPlan) Heal(a, b addr.NodeID) {
+	want := NodePair{a, b}.normalize()
+	out := fp.Partitions[:0]
+	for _, p := range fp.Partitions {
+		if p.normalize() != want {
+			out = append(out, p)
+		}
+	}
+	fp.Partitions = out
+}
+
+// HealAll removes every declared cut.
+func (fp *FaultPlan) HealAll() { fp.Partitions = nil }
+
+// Zero reports whether the plan injects nothing: no rates anywhere and no
+// partitions. A plan with rate maps present but all-zero entries is Zero.
+func (fp FaultPlan) Zero() bool {
+	if !fp.Default.zero() || len(fp.Partitions) > 0 {
+		return false
+	}
+	for _, r := range fp.ByClass {
+		if !r.zero() {
+			return false
+		}
+	}
+	for _, r := range fp.ByKind {
+		if !r.zero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Sanitized returns a deep copy of the plan with every probability clamped
+// to [0, 1] and the partition list normalized (smaller ID first, sorted,
+// deduplicated). Transports install the sanitized copy so later mutations of
+// the caller's plan cannot race with delivery.
+func (fp FaultPlan) Sanitized() FaultPlan {
+	out := FaultPlan{Default: fp.Default.sanitized()}
+	if len(fp.ByClass) > 0 {
+		out.ByClass = make(map[Class]FaultRates, len(fp.ByClass))
+		for c, r := range fp.ByClass {
+			out.ByClass[c] = r.sanitized()
+		}
+	}
+	if len(fp.ByKind) > 0 {
+		out.ByKind = make(map[string]FaultRates, len(fp.ByKind))
+		for k, r := range fp.ByKind {
+			out.ByKind[k] = r.sanitized()
+		}
+	}
+	seen := make(map[NodePair]bool, len(fp.Partitions))
+	for _, p := range fp.Partitions {
+		n := p.normalize()
+		if n.A == n.B || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out.Partitions = append(out.Partitions, n)
+	}
+	sort.Slice(out.Partitions, func(i, j int) bool {
+		if out.Partitions[i].A != out.Partitions[j].A {
+			return out.Partitions[i].A < out.Partitions[j].A
+		}
+		return out.Partitions[i].B < out.Partitions[j].B
+	})
+	return out
+}

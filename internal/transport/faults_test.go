@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bmx/internal/addr"
+)
+
+func TestClampProb(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{math.NaN(), 0},
+		{math.Inf(-1), 0},
+		{-0.5, 0},
+		{0, 0},
+		{0.25, 0.25},
+		{1, 1},
+		{1.5, 1},
+		{math.Inf(1), 1},
+	}
+	for _, c := range cases {
+		if got := ClampProb(c.in); got != c.want {
+			t.Errorf("ClampProb(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFaultRatesSanitized(t *testing.T) {
+	r := FaultRates{Drop: math.NaN(), Dup: -3, Delay: 2, DelayTicks: 5}.sanitized()
+	if r.Drop != 0 || r.Dup != 0 || r.Delay != 1 || r.DelayTicks != 5 {
+		t.Fatalf("sanitized = %+v", r)
+	}
+	// A zero delay probability makes DelayTicks meaningless.
+	r = FaultRates{DelayTicks: 9}.sanitized()
+	if r.DelayTicks != 0 {
+		t.Fatalf("DelayTicks kept without Delay: %+v", r)
+	}
+}
+
+func TestRatesForPrecedence(t *testing.T) {
+	fp := FaultPlan{
+		Default: FaultRates{Drop: 0.1},
+		ByClass: map[Class]FaultRates{ClassGC: {Drop: 0.2}},
+		ByKind:  map[string]FaultRates{"gc.table": {Drop: 0.3}},
+	}
+	if got := fp.RatesFor(ClassGC, "gc.table").Drop; got != 0.3 {
+		t.Errorf("ByKind should win: got %v", got)
+	}
+	if got := fp.RatesFor(ClassGC, "gc.scion").Drop; got != 0.2 {
+		t.Errorf("ByClass should win over Default: got %v", got)
+	}
+	if got := fp.RatesFor(ClassApp, "dsm.acquire").Drop; got != 0.1 {
+		t.Errorf("Default should apply: got %v", got)
+	}
+}
+
+func TestPartitionedSymmetric(t *testing.T) {
+	var fp FaultPlan
+	fp.Partition(2, 1)
+	if !fp.Partitioned(1, 2) || !fp.Partitioned(2, 1) {
+		t.Fatal("partition must cut both directions")
+	}
+	if fp.Partitioned(1, 3) || fp.Partitioned(0, 2) {
+		t.Fatal("unrelated pairs must stay connected")
+	}
+	// A node is never partitioned from itself, even if a bogus self-pair is
+	// declared.
+	fp.Partitions = append(fp.Partitions, NodePair{3, 3})
+	if fp.Partitioned(3, 3) {
+		t.Fatal("self-partition must be impossible")
+	}
+}
+
+func TestPartitionHealRoundTrip(t *testing.T) {
+	var fp FaultPlan
+	fp.Partition(0, 1)
+	fp.Partition(1, 0) // duplicate in swapped order
+	fp.Partition(2, 2) // self-pair ignored
+	if len(fp.Partitions) != 1 {
+		t.Fatalf("partition list = %v, want one cut", fp.Partitions)
+	}
+	fp.Heal(1, 0) // heal in swapped order
+	if fp.Partitioned(0, 1) {
+		t.Fatal("heal did not remove the cut")
+	}
+	fp.Partition(0, 1)
+	fp.Partition(1, 2)
+	fp.HealAll()
+	if len(fp.Partitions) != 0 {
+		t.Fatalf("HealAll left %v", fp.Partitions)
+	}
+}
+
+func TestFaultPlanZero(t *testing.T) {
+	var fp FaultPlan
+	if !fp.Zero() {
+		t.Fatal("zero value must be Zero")
+	}
+	// Maps present but with all-zero entries still inject nothing.
+	fp = FaultPlan{
+		ByClass: map[Class]FaultRates{ClassGC: {}},
+		ByKind:  map[string]FaultRates{"gc.table": {}},
+	}
+	if !fp.Zero() {
+		t.Fatal("all-zero maps must be Zero")
+	}
+	if (FaultPlan{Default: FaultRates{Dup: 0.1}}).Zero() {
+		t.Fatal("non-zero Default is not Zero")
+	}
+	if (FaultPlan{ByKind: map[string]FaultRates{"k": {Delay: 0.1}}}).Zero() {
+		t.Fatal("non-zero ByKind is not Zero")
+	}
+	if (FaultPlan{Partitions: []NodePair{{0, 1}}}).Zero() {
+		t.Fatal("a partition is not Zero")
+	}
+}
+
+func TestSanitizedNormalizesPartitions(t *testing.T) {
+	fp := FaultPlan{
+		Partitions: []NodePair{{3, 1}, {1, 3}, {2, 2}, {0, 1}},
+	}
+	got := fp.Sanitized().Partitions
+	want := []NodePair{{0, 1}, {1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Partitions = %v, want %v", got, want)
+	}
+}
+
+func TestSanitizedIsDeepCopy(t *testing.T) {
+	fp := FaultPlan{
+		Default:    FaultRates{Drop: 2},
+		ByClass:    map[Class]FaultRates{ClassApp: {Dup: -1, Delay: 0.5, DelayTicks: 2}},
+		ByKind:     map[string]FaultRates{"gc.table": {Drop: math.NaN()}},
+		Partitions: []NodePair{{1, 0}},
+	}
+	s := fp.Sanitized()
+	if s.Default.Drop != 1 {
+		t.Fatalf("Default not clamped: %+v", s.Default)
+	}
+	if r := s.ByClass[ClassApp]; r.Dup != 0 || r.Delay != 0.5 || r.DelayTicks != 2 {
+		t.Fatalf("ByClass not clamped: %+v", r)
+	}
+	if s.ByKind["gc.table"].Drop != 0 {
+		t.Fatalf("ByKind not clamped: %+v", s.ByKind["gc.table"])
+	}
+
+	// Mutating the original must not leak into the sanitized copy.
+	fp.ByClass[ClassApp] = FaultRates{Drop: 1}
+	fp.ByKind["gc.table"] = FaultRates{Drop: 1}
+	fp.Partitions[0] = NodePair{5, 6}
+	if s.ByClass[ClassApp].Drop != 0 || s.ByKind["gc.table"].Drop != 0 {
+		t.Fatal("Sanitized shares rate maps with the original")
+	}
+	if s.Partitions[0] != (NodePair{A: addr.NodeID(0), B: addr.NodeID(1)}) {
+		t.Fatalf("Sanitized shares the partition slice: %v", s.Partitions)
+	}
+}

@@ -103,5 +103,15 @@ type Network interface {
 	// Pending reports the number of undelivered asynchronous messages.
 	Pending() int
 	// SetLossRate changes the asynchronous drop probability at runtime.
-	SetLossRate(p float64)
+	// The rate is clamped to [0, 1] (NaN and negative values become 0) and
+	// the effective rate actually installed is returned.
+	SetLossRate(p float64) float64
+	// SetFaultPlan installs a fault-injection plan (drop/duplicate/delay
+	// rates and node-pair partitions). The plan is sanitized and copied;
+	// installing the zero FaultPlan disables injection entirely and must
+	// leave deterministic runs byte-for-byte identical to runs that never
+	// installed a plan.
+	SetFaultPlan(fp FaultPlan)
+	// Faults returns a copy of the currently installed fault plan.
+	Faults() FaultPlan
 }
