@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"bmx"
+	"bmx/internal/obs"
 	"bmx/internal/trace"
 )
 
@@ -37,6 +39,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload and loss seed")
 		workers  = flag.Int("workers", 1, "parallel mutator goroutines (>1 switches to the concurrent disjoint-bunch workload)")
 		verbose  = flag.Bool("v", false, "print per-round progress")
+
+		traceOn   = flag.Bool("trace", false, "enable the flight recorder; dump its retained event window and histograms at exit")
+		traceJSON = flag.Bool("trace-json", false, "like -trace, but dump events as newline-delimited JSON")
+		statsJSON = flag.Bool("stats-json", false, "dump the final counters as sorted JSON instead of text")
 
 		chaos      = flag.Bool("chaos", false, "run the seeded chaos soak instead of the workload driver")
 		chaosSteps = flag.Int("chaos-steps", 400, "chaos: workload steps in the fault storm")
@@ -70,11 +76,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bmxd: segment-grain tokens support the deterministic single driver only (-workers 1)")
 		os.Exit(2)
 	}
+	if *traceJSON {
+		*traceOn = true
+	}
 	if *chaos {
 		runChaos(chaosOpts{
 			nodes: *nodes, steps: *chaosSteps, seed: *seed, proto: proto,
 			drop: *loss, dup: *dup, delay: *delay, delayTicks: *delayTicks,
 			partEvery: *partEvery, partFor: *partFor,
+			trace: *traceOn, traceJSON: *traceJSON, statsJSON: *statsJSON,
 		})
 		return
 	}
@@ -86,8 +96,13 @@ func main() {
 		SendLatency: 1, CallLatency: 1,
 		Consistency: proto, SegmentGrainTokens: coarse,
 	})
+	if *traceOn {
+		cl.EnableTracing()
+	}
 	if *workers > 1 {
 		runParallel(cl, *workers, *objects, *rounds, *gcEvery, *verbose)
+		dumpStats(cl.Stats(), *statsJSON)
+		dumpTrace(cl.Observer(), *traceOn, *traceJSON)
 		return
 	}
 	n0 := cl.Node(0)
@@ -191,8 +206,8 @@ func main() {
 	fmt.Printf("GC bytes piggybacked on app msgs  : %d\n", st.Get("bytes.piggyback"))
 	fmt.Printf("background messages lost          : %d\n", st.Get("msg.lost"))
 	fmt.Println()
-	fmt.Println("-- full counters --")
-	fmt.Print(st.String())
+	dumpStats(st, *statsJSON)
+	dumpTrace(cl.Observer(), *traceOn, *traceJSON)
 
 	if st.Get("dsm.acquire.r.gc")+st.Get("dsm.acquire.w.gc") != 0 ||
 		st.Get("dsm.invalidation.gc") != 0 {
@@ -208,6 +223,8 @@ type chaosOpts struct {
 	drop, dup, delay   float64
 	delayTicks         uint64
 	partEvery, partFor int
+
+	trace, traceJSON, statsJSON bool
 }
 
 // runChaos runs the seeded chaos soak: the mixed mutator+GC storm under
@@ -220,6 +237,7 @@ func runChaos(o chaosOpts) {
 			Drop: o.drop, Dup: o.dup, Delay: o.delay, DelayTicks: o.delayTicks,
 		}},
 		PartitionEvery: o.partEvery, PartitionFor: o.partFor,
+		Trace: o.trace,
 	})
 	fmt.Printf("chaos soak: %d nodes, %d steps, seed %d, drop %.0f%%, dup %.0f%%, delay %.0f%% (%d ticks)\n",
 		o.nodes, rep.Steps, o.seed, o.drop*100, o.dup*100, o.delay*100, o.delayTicks)
@@ -228,6 +246,12 @@ func runChaos(o chaosOpts) {
 	fmt.Printf("faults injected: duplicated %d, delayed %d, partitioned %d, lost %d\n",
 		rep.Stats["msg.dup"], rep.Stats["msg.delayed"], rep.Stats["msg.partitioned"], rep.Stats["msg.lost"])
 	fmt.Printf("simulated ticks: %d\n", rep.ClockTicks)
+	if o.statsJSON {
+		statsToJSON(os.Stdout, rep.Stats)
+	}
+	if o.trace {
+		dumpEvents(rep.Events, o.traceJSON)
+	}
 	if len(rep.Violations) == 0 {
 		fmt.Println("converged: all invariants hold after heal and drain")
 		return
@@ -237,6 +261,58 @@ func runChaos(o chaosOpts) {
 		fmt.Println("  " + v)
 	}
 	os.Exit(1)
+}
+
+// dumpStats prints the final counters, as the flat text table or — with
+// -stats-json — as one JSON object with sorted keys (Go's encoder sorts map
+// keys), so runs diff cleanly.
+func dumpStats(st *bmx.Stats, asJSON bool) {
+	if asJSON {
+		statsToJSON(os.Stdout, st.Snapshot())
+		return
+	}
+	fmt.Println("-- full counters --")
+	fmt.Print(st.String())
+}
+
+func statsToJSON(w *os.File, snap map[string]int64) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "bmxd:", err)
+		os.Exit(1)
+	}
+}
+
+// dumpTrace prints the flight recorder's histograms and retained window.
+func dumpTrace(o *obs.Observer, on, asJSON bool) {
+	if !on {
+		return
+	}
+	fmt.Println()
+	fmt.Println("-- histograms --")
+	if asJSON {
+		if err := obs.DumpHistogramsJSON(os.Stdout, o.Histograms()); err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+	} else {
+		obs.DumpHistograms(os.Stdout, o.Histograms())
+	}
+	dumpEvents(o.Events(), asJSON)
+}
+
+func dumpEvents(evs []obs.Event, asJSON bool) {
+	fmt.Println()
+	fmt.Printf("-- flight recorder window (%d events) --\n", len(evs))
+	if asJSON {
+		if err := obs.DumpJSON(os.Stdout, evs); err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	obs.Dump(os.Stdout, evs)
 }
 
 // runParallel exercises the per-node locking payoff: one mutator goroutine
@@ -312,6 +388,4 @@ func runParallel(cl *bmx.Cluster, workers, objects, rounds, gcEvery int, verbose
 		totalOps, elapsed.Round(time.Millisecond), float64(totalOps)/elapsed.Seconds())
 	fmt.Printf("objects reclaimed locally: %d\n", totalDead)
 	fmt.Println()
-	fmt.Println("-- full counters --")
-	fmt.Print(cl.Stats().String())
 }

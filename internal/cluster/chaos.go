@@ -8,6 +8,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
+	"bmx/internal/obs"
 	"bmx/internal/transport"
 )
 
@@ -39,6 +40,11 @@ type ChaosConfig struct {
 	// Consistency selects the DSM protocol variant (entry consistency by
 	// default).
 	Consistency dsm.Protocol
+
+	// Trace enables the flight recorder for the whole soak; the report then
+	// carries the retained event window, so a failed run's last moments can
+	// be dumped (bmxd -chaos -trace, and the CI failure artifact).
+	Trace bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -81,6 +87,10 @@ type ChaosReport struct {
 
 	Stats      map[string]int64 // final counter snapshot
 	ClockTicks uint64           // final simulated time
+
+	// Events is the flight recorder's retained window at the end of the run
+	// (nil unless ChaosConfig.Trace was set).
+	Events []obs.Event
 }
 
 // chaosObj is one object the chaos driver tracks: where it is rooted is the
@@ -126,6 +136,9 @@ func runChaos(cl *Cluster, cfg ChaosConfig) ChaosReport {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := ChaosReport{Steps: cfg.Steps}
+	if cfg.Trace {
+		cl.EnableTracing()
+	}
 
 	// Fixed topology: Bunches bunches created round-robin across the
 	// nodes; the creator maps each, other nodes adopt replicas as the
@@ -367,6 +380,9 @@ func runChaos(cl *Cluster, cfg ChaosConfig) ChaosReport {
 
 	rep.Stats = cl.Stats().Snapshot()
 	rep.ClockTicks = cl.Clock().Now()
+	if cfg.Trace {
+		rep.Events = cl.Observer().Events()
+	}
 	return rep
 }
 

@@ -28,6 +28,7 @@ import (
 	"bmx/internal/core"
 	"bmx/internal/dsm"
 	"bmx/internal/mem"
+	"bmx/internal/obs"
 	"bmx/internal/rvm"
 	"bmx/internal/simnet"
 	"bmx/internal/store"
@@ -125,6 +126,13 @@ type Node struct {
 	// this node's own — can always make progress.
 	mu ownedMutex
 	tr transport.Transport
+	// rec is this node's flight recorder. Mutator entry points bracket
+	// themselves with EnterCritical/ExitCritical so every event emitted
+	// while an application operation is in flight — here or at a node
+	// serving one of its synchronous calls — carries FlagCritical, which is
+	// what the paper's "no extra messages on the critical path" probes key
+	// on. Nil-safe and a no-op while tracing is disabled.
+	rec *obs.Recorder
 
 	disk *store.Disk
 	log  *rvm.Log
@@ -153,6 +161,7 @@ func New(cfg Config) *Cluster {
 		id := addr.NodeID(i)
 		n := &Node{cl: cl, id: id}
 		n.tr = &nodeTransport{n: n, inner: cl.net}
+		n.rec = cl.net.Stats().Observer().Recorder(id)
 		heap := mem.NewHeap(cl.dir.Allocator())
 		col := core.NewCollector(id, heap, cl.dir, n.tr, cfg.Costs)
 		d := dsm.NewNode(id, n.tr, col, cfg.Nodes)
@@ -178,6 +187,28 @@ func (cl *Cluster) Nodes() int { return len(cl.nodes) }
 // Stats returns the shared counter registry (internally locked; safe to
 // read while the cluster runs).
 func (cl *Cluster) Stats() *transport.Stats { return cl.net.Stats() }
+
+// Observer returns the cluster's flight recorder (rides on Stats; one per
+// transport, shared by every node).
+func (cl *Cluster) Observer() *obs.Observer { return cl.net.Stats().Observer() }
+
+// EnableTracing switches structured event recording on. Histograms always
+// aggregate; the per-node event rings only record while tracing is enabled.
+func (cl *Cluster) EnableTracing() { cl.Observer().Enable() }
+
+// DisableTracing switches event recording off (the rings keep their
+// contents until Reset).
+func (cl *Cluster) DisableTracing() { cl.Observer().Disable() }
+
+// TraceWindow snapshots the retained event window of every node, merged in
+// emission order, and marks the cut with a KSnapshot event.
+func (cl *Cluster) TraceWindow() []obs.Event {
+	evs := cl.Observer().Events()
+	if len(cl.nodes) > 0 {
+		cl.nodes[0].rec.Emit(obs.Event{Kind: obs.KSnapshot, Class: obs.ClassNone})
+	}
+	return evs
+}
 
 // Clock returns the simulated clock (internally locked).
 func (cl *Cluster) Clock() *transport.Clock { return cl.net.Clock() }
@@ -257,6 +288,14 @@ func (n *Node) handleAsync(m transport.Msg) {
 }
 
 func (n *Node) handleCall(m transport.Msg) (any, int, error) {
+	if m.Class == transport.ClassApp {
+		// Serving a synchronous application-class call: the remote mutator
+		// is blocked on this reply, so everything this node does until it
+		// returns — including any message it sends — is on that mutator's
+		// critical path.
+		n.rec.EnterCritical()
+		defer n.rec.ExitCritical()
+	}
 	defer n.lock()()
 	switch {
 	case strings.HasPrefix(m.Kind, "dsm."):
@@ -312,6 +351,17 @@ func (n *Node) lock() func() {
 	return n.mu.Unlock
 }
 
+// critical marks this node as being on the application's critical path for
+// the duration of a mutator operation and returns the un-mark. Events the
+// node emits in between — including at other layers, and on other nodes
+// serving this operation's synchronous calls — carry FlagCritical. No-op
+// overhead beyond two atomic adds; depth is tracked even while tracing is
+// disabled so enabling mid-run is sound.
+func (n *Node) critical() func() {
+	n.rec.EnterCritical()
+	return n.rec.ExitCritical
+}
+
 // ---- bunch management ---------------------------------------------------------
 
 // NewBunch creates a bunch owned (created) at this node.
@@ -326,6 +376,7 @@ func (n *Node) NewBunch() addr.BunchID {
 // segment images from a node already holding a replica. Mapped bunches are
 // kept weakly consistent from then on (§2.1).
 func (n *Node) MapBunch(b addr.BunchID) error {
+	defer n.critical()()
 	defer n.lock()()
 	return n.mapBunchLocked(b)
 }
@@ -387,6 +438,8 @@ func (n *Node) mapBunchLocked(b addr.BunchID) error {
 	}
 	n.cl.dir.AddReplica(b, n.id)
 	n.cl.Stats().Add("cluster.bunchesMapped", 1)
+	n.rec.Emit(obs.Event{Kind: obs.KMapBunch, Class: obs.ClassApp,
+		From: src, To: n.id, A: int64(b), B: int64(len(rep.Images))})
 	return nil
 }
 

@@ -32,6 +32,7 @@ func (r Ref) String() string { return r.OID.String() }
 // two before the next collection, exactly as a real mutator keeps new
 // objects on its stack.
 func (n *Node) Alloc(b addr.BunchID, size int) (Ref, error) {
+	defer n.critical()()
 	defer n.lock()()
 	oid, err := n.col.Alloc(b, size)
 	if err != nil {
@@ -77,6 +78,7 @@ func (n *Node) AcquireWrite(r Ref) error { return n.acquireToken(r, dsm.ModeWrit
 // concurrent acquires of one object cannot interleave their forwarding
 // hops), then performs the acquire under the node lock.
 func (n *Node) acquireToken(r Ref, mode dsm.Mode) error {
+	defer n.critical()()
 	defer n.cl.lockObject(r.OID)()
 	defer n.lock()()
 	return n.acquireLocked(r, mode)
@@ -113,6 +115,7 @@ func (n *Node) acquireLocked(r Ref, mode dsm.Mode) error {
 // Release ends the critical section on r. Under entry consistency this is
 // local: the token stays cached until another node claims it.
 func (n *Node) Release(r Ref) {
+	defer n.critical()()
 	defer n.lock()()
 	n.dsm.Release(r.OID)
 }
@@ -121,6 +124,7 @@ func (n *Node) Release(r Ref) {
 // hold obj's write token. Every write passes the write barrier (§3.2),
 // which constructs inter-bunch SSPs as needed.
 func (n *Node) WriteRef(obj Ref, i int, target Ref) error {
+	defer n.critical()()
 	defer n.lock()()
 	a, err := n.writableAddr(obj)
 	if err != nil {
@@ -152,6 +156,7 @@ func (n *Node) WriteRef(obj Ref, i int, target Ref) error {
 
 // WriteWord stores a scalar in field i of obj (write token required).
 func (n *Node) WriteWord(obj Ref, i int, v uint64) error {
+	defer n.critical()()
 	defer n.lock()()
 	a, err := n.writableAddr(obj)
 	if err != nil {
@@ -170,6 +175,7 @@ func (n *Node) WriteWord(obj Ref, i int, v uint64) error {
 // forwarding pointers (the pointer-comparison/indirection semantics of
 // §4.2). The caller must hold a read or write token for obj.
 func (n *Node) ReadRef(obj Ref, i int) (Ref, error) {
+	defer n.critical()()
 	defer n.lock()()
 	a, err := n.readableAddr(obj)
 	if err != nil {
@@ -197,6 +203,7 @@ func (n *Node) ReadRef(obj Ref, i int) (Ref, error) {
 // ReadWord loads the scalar in field i of obj (read or write token
 // required).
 func (n *Node) ReadWord(obj Ref, i int) (uint64, error) {
+	defer n.critical()()
 	defer n.lock()()
 	a, err := n.readableAddr(obj)
 	if err != nil {

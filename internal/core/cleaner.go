@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bmx/internal/addr"
+	"bmx/internal/obs"
 	"bmx/internal/ssp"
 )
 
@@ -43,6 +44,7 @@ func (c *Collector) ApplyTable(msg ssp.TableMsg) {
 	}
 	c.recvGen[k] = msg.Gen
 	c.stats().Add("core.cleaner.tables", 1)
+	deleted := 0
 
 	presentInter := make(map[ssp.InterScionKey]bool, len(msg.InterStubs))
 	for _, s := range msg.InterStubs {
@@ -63,6 +65,7 @@ func (c *Collector) ApplyTable(msg ssp.TableMsg) {
 			if sc.SrcNode == msg.From && sc.SrcBunch == msg.Bunch &&
 				sc.CreatedGen <= msg.Gen && !presentInter[key] {
 				delete(t.InterScions, key)
+				deleted++
 				c.stats().Add("core.cleaner.interScionsDeleted", 1)
 			}
 		}
@@ -77,6 +80,7 @@ func (c *Collector) ApplyTable(msg ssp.TableMsg) {
 			}
 			if sc.NewOwner == msg.From && sc.CreatedGen <= msg.Gen && !presentIntra[key] {
 				delete(rep.Table.IntraScions, key)
+				deleted++
 				c.stats().Add("core.cleaner.intraScionsDeleted", 1)
 			}
 		}
@@ -111,4 +115,6 @@ func (c *Collector) ApplyTable(msg ssp.TableMsg) {
 			c.stats().Add("core.cleaner.enteringOrphan", 1)
 		}
 	}
+	c.rec.Emit(obs.Event{Kind: obs.KScionClean, Class: obs.ClassGC,
+		From: msg.From, To: c.node, A: int64(msg.Gen), B: int64(deleted)})
 }

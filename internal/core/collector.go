@@ -7,6 +7,7 @@ import (
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
 	"bmx/internal/mem"
+	"bmx/internal/obs"
 	"bmx/internal/ssp"
 	"bmx/internal/transport"
 )
@@ -82,11 +83,17 @@ type Collector struct {
 	// locEpoch is the relocation epoch this node has applied (or, at the
 	// owner, produced) for each object; see dsm.Manifest.Epoch.
 	locEpoch map[addr.OID]uint64
+
+	// Flight-recorder plumbing, cached from the transport's observer.
+	rec      *obs.Recorder
+	copyHist *obs.Histogram // words moved per evacuated object
+	scanHist *obs.Histogram // objects scanned per collection
 }
 
 // NewCollector creates node's collector. SetDSM must be called before any
 // collection or hook activity.
 func NewCollector(node addr.NodeID, heap *mem.Heap, dir *Directory, net transport.Transport, costs Costs) *Collector {
+	o := net.Stats().Observer()
 	return &Collector{
 		node:     node,
 		heap:     heap,
@@ -98,6 +105,9 @@ func NewCollector(node addr.NodeID, heap *mem.Heap, dir *Directory, net transpor
 		recvGen:  make(map[tableKey]uint64),
 		pending:  make(map[addr.NodeID]map[addr.OID]dsm.Manifest),
 		locEpoch: make(map[addr.OID]uint64),
+		rec:      o.Recorder(node),
+		copyHist: o.Hist("gc.copy.words"),
+		scanHist: o.Hist("gc.scan.objects"),
 	}
 }
 

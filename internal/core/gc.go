@@ -6,6 +6,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/mem"
+	"bmx/internal/obs"
 	"bmx/internal/ssp"
 	"bmx/internal/transport"
 )
@@ -83,6 +84,11 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 	total := transport.StartWatch(c.net.Clock())
 	var st CollectStats
 	st.Bunches = len(bunches)
+	var gfl uint8
+	if group {
+		gfl = obs.FlagGroup
+	}
+	c.rec.Emit(obs.Event{Kind: obs.KGCStart, Class: obs.ClassGC, Flags: gfl, A: int64(len(bunches))})
 	set := make(map[addr.BunchID]bool, len(bunches))
 	for _, b := range bunches {
 		set[b] = true
@@ -135,6 +141,8 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 	st.RootCount = len(strongRoots) + len(weakRoots)
 	c.net.Clock().Advance(c.costs.RootTick * uint64(st.RootCount))
 	st.PauseRootTicks = pause1.Elapsed()
+	c.rec.Emit(obs.Event{Kind: obs.KGCRoots, Class: obs.ClassGC, Flags: gfl,
+		A: int64(st.RootCount), B: int64(st.PauseRootTicks)})
 
 	// ---- Concurrent phase: the mutator may run now ----------------------
 	if opts.DuringTrace != nil {
@@ -145,6 +153,8 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 	live := make(map[addr.OID]int)
 	st.Scanned += c.trace(set, strongRoots, strongLive, live)
 	st.Scanned += c.trace(set, weakRoots, weakLive, live)
+	c.scanHist.Observe(int64(st.Scanned))
+	c.rec.Emit(obs.Event{Kind: obs.KGCTrace, Class: obs.ClassGC, Flags: gfl, A: int64(st.Scanned)})
 
 	// ---- Copy phase: only locally-owned live objects move (§4.2) --------
 	for _, o := range sortedLiveOIDs(live) {
@@ -159,8 +169,11 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 		if meta == nil || !oldSegs[meta.ID] {
 			continue // already in to-space (e.g. allocated during this GC)
 		}
-		if _, moved := c.moveOwnedObject(o); moved {
+		if man, moved := c.moveOwnedObject(o); moved {
 			st.Copied++
+			c.copyHist.Observe(int64(man.Size))
+			c.rec.Emit(obs.Event{Kind: obs.KGCCopy, Class: obs.ClassGC,
+				Flags: gfl | obs.FlagOwned, OID: o, A: int64(man.Size)})
 		}
 	}
 
@@ -171,16 +184,20 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 
 	// ---- Flip pause 2: replay the mutation log --------------------------
 	pause2 := transport.StartWatch(c.net.Clock())
+	replayed := 0
 	for _, b := range bunches {
 		rep := c.reps[b]
 		for o := range rep.writeLog {
 			if live[o] != notLive {
 				c.fixupLocalRefs(o)
 			}
+			replayed++
 			c.net.Clock().Advance(c.costs.LogTick)
 		}
 	}
 	st.PauseFlipTicks = pause2.Elapsed()
+	c.rec.Emit(obs.Event{Kind: obs.KGCFlip, Class: obs.ClassGC, Flags: gfl,
+		A: int64(replayed), B: int64(st.PauseFlipTicks)})
 
 	// ---- Reclaim dead objects locally ------------------------------------
 	deadByManager := make(map[addr.NodeID][]addr.OID)
@@ -210,6 +227,11 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 			if o == TraceOID {
 				fmt.Printf("TRACEOID %v: reclaiming at %v (owner=%v)\n", o, c.node, c.dsm.IsOwner(o))
 			}
+			rfl := gfl
+			if c.dsm.IsOwner(o) {
+				rfl |= obs.FlagOwned
+			}
+			c.rec.Emit(obs.Event{Kind: obs.KGCReclaim, Class: obs.ClassGC, Flags: rfl, OID: o})
 			c.heap.DropObject(o)
 			switch {
 			case c.dsm.IsOwner(o):
@@ -258,6 +280,8 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 		_ = o
 	}
 	st.TotalTicks = total.Elapsed()
+	c.rec.Emit(obs.Event{Kind: obs.KGCDone, Class: obs.ClassGC, Flags: gfl,
+		A: int64(st.Dead), B: int64(st.TotalTicks)})
 	c.stats().Add("core.gc.runs", 1)
 	c.stats().Add("core.gc.pauseRootTicks", int64(st.PauseRootTicks))
 	c.stats().Add("core.gc.pauseFlipTicks", int64(st.PauseFlipTicks))
@@ -527,6 +551,7 @@ func (c *Collector) sendTables(b addr.BunchID, oldTable *ssp.Table, exiting map[
 		})
 		c.stats().Add("core.tables.sent", 1)
 	}
+	c.rec.Emit(obs.Event{Kind: obs.KGCTables, Class: obs.ClassGC, A: int64(len(order))})
 }
 
 func sortedLiveOIDs(live map[addr.OID]int) []addr.OID {

@@ -5,6 +5,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
+	"bmx/internal/obs"
 	"bmx/internal/transport"
 )
 
@@ -114,6 +115,7 @@ func (c *Collector) ReclaimFromSpace(b addr.BunchID) ReclaimStats {
 		st.WordsFreed += s.Meta.Words
 		c.stats().Add("core.reclaim.segments", 1)
 		c.stats().Add("core.reclaim.words", int64(s.Meta.Words))
+		c.rec.Emit(obs.Event{Kind: obs.KReclaimSeg, Class: obs.ClassGC, A: int64(s.Meta.Words)})
 	}
 	return st
 }

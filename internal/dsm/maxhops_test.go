@@ -1,0 +1,70 @@
+package dsm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bmx/internal/addr"
+	"bmx/internal/obs"
+	"bmx/internal/simnet"
+)
+
+// TestMaxHopsErrorNamesTheCycle forces the one routing pathology the hop
+// bound exists for — ownerPtr edges among non-owners forming a cycle — and
+// pins down the diagnostics: the error names the traversed node sequence,
+// the flight recorder dumps the window, and the hop-trail probe recovers
+// the repeating pattern from the event stream.
+func TestMaxHopsErrorNamesTheCycle(t *testing.T) {
+	env := newFakeEnv(t, 3)
+	const o = addr.OID(36)
+
+	obsv := env.net.Stats().Observer()
+	obsv.Enable()
+	var dump bytes.Buffer
+	obsv.SetFatalSink(&dump)
+
+	// O36 is deliberately not registered anywhere: N2 and N3 are stale
+	// non-owner replicas whose hint edges point at each other (the kind of
+	// cycle manifests can create that ownership-transfer edges never do),
+	// and N1 routes into the loop.
+	env.nodes[0].state(o).OwnerPtr = 1
+	env.nodes[1].state(o).OwnerPtr = 2
+	env.nodes[2].state(o).OwnerPtr = 1
+
+	err := env.nodes[0].Acquire(o, ModeWrite, simnet.ClassApp)
+	if err == nil {
+		t.Fatal("acquire through a routing cycle must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "exceeded 10 hops") {
+		t.Fatalf("error lost the hop bound: %v", err)
+	}
+	// The traversed sequence must be spelled out, and the cycle must be
+	// visible in it as a repeating pattern.
+	if !strings.Contains(msg, "path N1 -> N2 -> N3") {
+		t.Fatalf("error does not name the traversed path: %v", err)
+	}
+	if !strings.Contains(msg, "N2 -> N3 -> N2 -> N3") {
+		t.Fatalf("error does not show the repeating cycle: %v", err)
+	}
+
+	// The same diagnosis must fall out of the event stream.
+	trail := obs.HopTrail(obsv.Events(), o)
+	if len(trail) < 4 {
+		t.Fatalf("hop trail too short: %v", trail)
+	}
+	cyc := obs.CycleIn(trail)
+	if len(cyc) != 2 {
+		t.Fatalf("CycleIn(%v) = %v, want the 2-node loop", trail, cyc)
+	}
+	if !(cyc[0] == 1 && cyc[1] == 2 || cyc[0] == 2 && cyc[1] == 1) {
+		t.Fatalf("cycle = %v, want N2/N3", cyc)
+	}
+
+	// The fatal path must have dumped the recent window.
+	if !strings.Contains(dump.String(), "flight recorder: fatal at") ||
+		!strings.Contains(dump.String(), "dsm.acquire.hop") {
+		t.Fatalf("missing or empty flight-recorder dump:\n%s", dump.String())
+	}
+}

@@ -2,8 +2,10 @@ package dsm
 
 import (
 	"fmt"
+	"strings"
 
 	"bmx/internal/addr"
+	"bmx/internal/obs"
 	"bmx/internal/transport"
 )
 
@@ -27,6 +29,11 @@ type acquireReq struct {
 	RequesterGen uint64
 	Class        transport.Class
 	Hops         int
+	// Via lists every node the request has visited, requester first. It
+	// exists for diagnosis: when the hop bound fires, the error names the
+	// exact node sequence the chain traversed, so a routing cycle reads as
+	// a repeating pattern instead of a bare count.
+	Via []addr.NodeID
 	// Piggyback carries the requester's pending location updates for the
 	// first node on the chain — GC information riding on a consistency
 	// message (§4.4), costing no extra message.
@@ -40,6 +47,9 @@ type acquireReply struct {
 	Manifests []Manifest   // invariant 1 + opportunistic pending updates
 	Intra     *IntraSSPReq // invariant 3 (write grants only)
 	Granter   addr.NodeID
+	// Hops is how many ownerPtr forwards the request travelled before it
+	// was granted (0 = the first node asked could grant).
+	Hops int
 	// Path lists the nodes that repointed their ownerPtr at the requester
 	// while the write request travelled the chain (Li's algorithm); the
 	// requester records an entering ownerPtr for each.
@@ -68,17 +78,29 @@ type Node struct {
 	protocol Protocol
 
 	maxHops int
+
+	// Flight-recorder plumbing, cached from the transport's observer so
+	// the per-acquire cost while tracing is disabled is one atomic load.
+	rec          *obs.Recorder
+	acquireHops  *obs.Histogram
+	acquireTicks *obs.Histogram
+	piggyHist    *obs.Histogram
 }
 
 // NewNode creates the protocol engine for node id. The caller is responsible
 // for routing "dsm.*" messages from the network to HandleCall/HandleAsync.
 func NewNode(id addr.NodeID, net transport.Transport, hooks Hooks, clusterSize int) *Node {
+	o := net.Stats().Observer()
 	return &Node{
-		id:      id,
-		net:     net,
-		hooks:   hooks,
-		objs:    make(map[addr.OID]*ObjState),
-		maxHops: 2*clusterSize + 4,
+		id:           id,
+		net:          net,
+		hooks:        hooks,
+		objs:         make(map[addr.OID]*ObjState),
+		maxHops:      2*clusterSize + 4,
+		rec:          o.Recorder(id),
+		acquireHops:  o.Hist("dsm.acquire.hops"),
+		acquireTicks: o.Hist("dsm.acquire.ticks"),
+		piggyHist:    o.Hist("net.piggyback.bytes"),
 	}
 }
 
@@ -103,14 +125,18 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 	}
 	st := n.state(o)
 	n.stats().Add(fmt.Sprintf("dsm.acquire.%v.%v", mode, class), 1)
+	watch := transport.StartWatch(n.net.Clock())
+	n.rec.Emit(obs.Event{Kind: obs.KAcquireStart, Class: obs.Class(class), OID: o, A: int64(mode)})
 
 	// Local fast paths: token already cached (entry consistency keeps
 	// tokens until someone else pulls them). The strict protocol never
 	// caches read tokens at non-owners, so its reads always revalidate.
 	if mode == ModeRead && st.Mode >= ModeRead && (n.protocol == ProtocolEntry || st.Owner) {
+		n.rec.Emit(obs.Event{Kind: obs.KAcquireLocal, Class: obs.Class(class), OID: o, A: int64(mode)})
 		return nil
 	}
 	if st.Owner {
+		n.rec.Emit(obs.Event{Kind: obs.KAcquireLocal, Class: obs.Class(class), OID: o, A: int64(mode)})
 		if mode == ModeWrite {
 			// Upgrading owner: revoke outstanding read tokens. If a reader
 			// is unreachable the upgrade is refused (the reader keeps its
@@ -131,6 +157,7 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 
 	target := st.OwnerPtr
 	if target == addr.NoNode {
+		n.rec.Emit(obs.Event{Kind: obs.KRouteDangling, Class: obs.Class(class), OID: o})
 		return fmt.Errorf("dsm: %v has no route to the owner of %v", n.id, o)
 	}
 	if target == n.id {
@@ -139,6 +166,7 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 		// other holder of the bunch before declaring the handle dangling.
 		target = n.hooks.RouteFallback(o)
 		if target == addr.NoNode || target == n.id {
+			n.rec.Emit(obs.Event{Kind: obs.KRouteDangling, Class: obs.Class(class), OID: o})
 			return fmt.Errorf("dsm: %v holds a dangling handle to reclaimed object %v", n.id, o)
 		}
 		st.OwnerPtr = target
@@ -149,6 +177,7 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 		Requester:    n.id,
 		RequesterGen: n.hooks.NextTableGen(st.Bunch),
 		Class:        class,
+		Via:          []addr.NodeID{n.id},
 		Piggyback:    n.hooks.TakePendingManifests(target),
 	}
 	pb := 0
@@ -169,8 +198,10 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 			return err
 		}
 		n.stats().Add("dsm.rerouted", 1)
+		n.rec.Emit(obs.Event{Kind: obs.KReroute, Class: obs.Class(class), OID: o, From: n.id, To: hint})
 		st.OwnerPtr = hint
 		req.Hops = 0
+		req.Via = []addr.NodeID{n.id} // the retry is a fresh chain
 		req.Piggyback = n.hooks.TakePendingManifests(hint)
 		raw, err = n.net.Call(transport.Msg{
 			From: n.id, To: hint, Kind: KindAcquire, Class: class,
@@ -201,12 +232,18 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 				st.Entering[pe.Node] = pe.Gen
 			}
 		}
+		n.rec.Emit(obs.Event{Kind: obs.KOwnerTransfer, Class: obs.Class(class), OID: o, From: rep.Granter, To: n.id})
 		n.hooks.OnOwnershipAcquired(o)
 	} else {
 		st.Mode = ModeRead
 		st.Owner = false
 		st.OwnerPtr = rep.Granter
 	}
+
+	elapsed := watch.Elapsed()
+	n.acquireHops.Observe(int64(rep.Hops))
+	n.acquireTicks.Observe(int64(elapsed))
+	n.rec.Emit(obs.Event{Kind: obs.KAcquireDone, Class: obs.Class(class), OID: o, A: int64(mode), B: int64(elapsed)})
 
 	// Invariant 2: push the location updates down the local copy-set.
 	n.forwardManifests(o, rep.Manifests, class)
@@ -219,6 +256,7 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 // the next read revalidates.
 func (n *Node) Release(o addr.OID) {
 	n.stats().Add("dsm.release", 1)
+	n.rec.Emit(obs.Event{Kind: obs.KRelease, Class: obs.ClassApp, OID: o})
 	if n.protocol == ProtocolStrict {
 		if st, ok := n.objs[o]; ok && !st.Owner && st.Mode == ModeRead {
 			st.Mode = ModeInvalid
@@ -247,6 +285,12 @@ func (n *Node) HandleCall(m transport.Msg) (any, int, error) {
 			pb += 16
 		}
 		n.stats().Add("bytes.piggyback", int64(pb))
+		if pb > 0 {
+			// Reply-side piggyback (manifests riding back on the grant)
+			// never flows through a Msg.Piggyback field, so the transport
+			// cannot see it; feed the shared histogram from here.
+			n.piggyHist.Observe(int64(pb))
+		}
 		return rep, bytes + pb, nil
 	case KindInvalidate:
 		req := m.Payload.(invalidateReq)
@@ -286,7 +330,14 @@ func (n *Node) serveAcquire(req acquireReq) (acquireReply, error) {
 
 func (n *Node) forwardAcquire(req acquireReq, st *ObjState) (acquireReply, error) {
 	if req.Hops >= n.maxHops {
-		return acquireReply{}, fmt.Errorf("dsm: ownerPtr chain for %v exceeded %d hops", req.O, n.maxHops)
+		// The bound firing is a protocol fatal: name the exact node
+		// sequence the chain traversed (a routing cycle reads as a
+		// repeating pattern) and dump the flight-recorder window.
+		n.rec.Emit(obs.Event{Kind: obs.KMaxHops, Class: obs.Class(req.Class), OID: req.O, A: int64(req.Hops)})
+		err := fmt.Errorf("dsm: ownerPtr chain for %v exceeded %d hops (path %s)",
+			req.O, n.maxHops, pathString(append(req.Via, n.id)))
+		n.net.Stats().Observer().Fatal(n.id, err.Error())
+		return acquireReply{}, err
 	}
 	if st.OwnerPtr == addr.NoNode || st.OwnerPtr == n.id {
 		if alt := n.hooks.RouteFallback(req.O); alt != addr.NoNode && alt != n.id && alt != req.Requester {
@@ -298,8 +349,11 @@ func (n *Node) forwardAcquire(req acquireReq, st *ObjState) (acquireReply, error
 	}
 	fwd := req
 	fwd.Hops++
+	fwd.Via = append(append([]addr.NodeID(nil), req.Via...), n.id)
 	fwd.Piggyback = n.hooks.TakePendingManifests(st.OwnerPtr)
 	n.stats().Add("dsm.forwards", 1)
+	n.rec.Emit(obs.Event{Kind: obs.KAcquireHop, Class: obs.Class(req.Class), OID: req.O,
+		From: req.Requester, To: st.OwnerPtr, A: int64(req.Hops)})
 	raw, err := n.net.Call(transport.Msg{
 		From: n.id, To: st.OwnerPtr, Kind: KindAcquire, Class: req.Class,
 		Payload: fwd, Bytes: 32,
@@ -347,8 +401,11 @@ func (n *Node) grantAsOwner(req acquireReq, st *ObjState) (acquireReply, error) 
 			n.hooks.TakePendingManifests(req.Requester)...),
 		Intra:   intra,
 		Granter: n.id,
+		Hops:    req.Hops,
 		Path:    []PathEntry{{Node: n.id, Gen: n.hooks.NextTableGen(st.Bunch)}},
 	}
+	n.rec.Emit(obs.Event{Kind: obs.KAcquireGrant, Class: obs.Class(req.Class), OID: req.O,
+		From: req.Requester, To: n.id, A: int64(req.Mode), B: int64(req.Hops)})
 	n.recordManifestEntering(rep.Manifests, req)
 	st.Owner = false
 	st.Mode = ModeInvalid
@@ -369,11 +426,14 @@ func (n *Node) grantRead(req acquireReq, st *ObjState) acquireReply {
 	st.CopySet[req.Requester] = true
 	st.Entering[req.Requester] = req.RequesterGen
 	n.stats().Add("dsm.grant.read", 1)
+	n.rec.Emit(obs.Event{Kind: obs.KAcquireGrant, Class: obs.Class(req.Class), OID: req.O,
+		From: req.Requester, To: n.id, A: int64(req.Mode), B: int64(req.Hops)})
 	rep := acquireReply{
 		Image: n.hooks.ObjectImage(req.O),
 		Manifests: append(n.hooks.GrantManifests(req.O),
 			n.hooks.TakePendingManifests(req.Requester)...),
 		Granter: n.id,
+		Hops:    req.Hops,
 	}
 	n.recordManifestEntering(rep.Manifests, req)
 	return rep
@@ -423,6 +483,7 @@ func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class transport.Class
 	var firstErr error
 	for _, c := range sortedNodes(st.CopySet) {
 		n.stats().Add(fmt.Sprintf("dsm.invalidation.%v", class), 1)
+		n.rec.Emit(obs.Event{Kind: obs.KInvalidate, Class: obs.Class(class), OID: o, From: n.id, To: c})
 		if _, err := n.net.Call(transport.Msg{
 			From: n.id, To: c, Kind: KindInvalidate, Class: class,
 			Payload: invalidateReq{O: o, Class: class}, Bytes: 16,
@@ -436,6 +497,15 @@ func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class transport.Class
 		delete(st.CopySet, c)
 	}
 	return firstErr
+}
+
+// pathString renders a traversed node sequence as "N1 -> N2 -> N1".
+func pathString(via []addr.NodeID) string {
+	parts := make([]string, len(via))
+	for i, v := range via {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " -> ")
 }
 
 // forwardManifests implements invariant 2: location updates received for o

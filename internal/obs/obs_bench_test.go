@@ -1,0 +1,62 @@
+package obs
+
+import "testing"
+
+// BenchmarkTraceOverhead quantifies the price of leaving instrumentation
+// compiled into every hot path. The contract the rest of the system relies
+// on: the disabled path is one atomic load and no allocation — effectively
+// free — and even the nil-recorder path (a layer built without any observer)
+// costs only the nil checks. The enabled path is the price of actually
+// flight-recording and is allowed to cost a mutex and a ring store.
+func BenchmarkTraceOverhead(b *testing.B) {
+	e := Event{Kind: KAcquireStart, Class: ClassApp, OID: 7, A: 2}
+
+	b.Run("disabled", func(b *testing.B) {
+		r := NewObserver().Recorder(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Emit(e)
+		}
+	})
+
+	b.Run("nil", func(b *testing.B) {
+		var r *Recorder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Emit(e)
+		}
+	})
+
+	b.Run("enabled", func(b *testing.B) {
+		o := NewObserver()
+		o.Enable()
+		r := o.Recorder(1)
+		r.Emit(e) // allocate the ring outside the timed loop
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Emit(e)
+		}
+	})
+}
+
+// BenchmarkHistogramObserve measures the always-on aggregation path
+// (histograms record regardless of the event-recording flag, like counters).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewObserver().Hist("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 1023))
+	}
+}
+
+// TestDisabledEmitDoesNotAllocate pins the zero-allocation claim the
+// benchmark illustrates, so a regression fails tests, not just a benchmark
+// eyeball.
+func TestDisabledEmitDoesNotAllocate(t *testing.T) {
+	r := NewObserver().Recorder(1)
+	e := Event{Kind: KSend, Class: ClassApp}
+	if avg := testing.AllocsPerRun(1000, func() { r.Emit(e) }); avg != 0 {
+		t.Fatalf("disabled Emit allocates %.1f objects per call, want 0", avg)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bmx/internal/addr"
+)
+
+// Observer is the cluster-wide observability registry: one flight recorder
+// per node, a set of named histograms, the global enable flag and the global
+// event sequence. One Observer is attached to every transport.Stats, so any
+// layer holding a Transport can reach it without new plumbing — exactly the
+// way the flat counters already travel.
+type Observer struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	tick    atomic.Pointer[func() uint64]
+
+	mu    sync.Mutex
+	recs  map[addr.NodeID]*Recorder
+	hists map[string]*Histogram
+	ring  int
+	fatal io.Writer
+
+	fatalMu     sync.Mutex
+	fatalDumped bool
+}
+
+// NewObserver returns a disabled observer with the default ring size.
+func NewObserver() *Observer {
+	return &Observer{
+		recs:  make(map[addr.NodeID]*Recorder),
+		hists: make(map[string]*Histogram),
+		ring:  DefaultRingSize,
+	}
+}
+
+// Enable turns event recording on. Instrumentation is always compiled in;
+// this flips the one atomic every fast path checks.
+func (o *Observer) Enable() { o.enabled.Store(true) }
+
+// Disable turns event recording off (retained windows are kept).
+func (o *Observer) Disable() { o.enabled.Store(false) }
+
+// Enabled reports whether events are being recorded.
+func (o *Observer) Enabled() bool { return o != nil && o.enabled.Load() }
+
+// SetTickSource installs the simulated-clock reader used to stamp events.
+// Without one, events carry tick 0.
+func (o *Observer) SetTickSource(f func() uint64) { o.tick.Store(&f) }
+
+func (o *Observer) now() uint64 {
+	if f := o.tick.Load(); f != nil {
+		return (*f)()
+	}
+	return 0
+}
+
+// SetRingSize sets the per-node window size for rings not yet allocated
+// (rings allocate lazily on each node's first recorded event).
+func (o *Observer) SetRingSize(n int) {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	o.mu.Lock()
+	o.ring = n
+	o.mu.Unlock()
+}
+
+func (o *Observer) ringSize() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ring
+}
+
+// Recorder returns node id's flight recorder, creating it on first use.
+// Layers cache the pointer; Emit on it is then lock-free while disabled.
+// A nil Observer returns a nil Recorder, whose methods are all no-ops.
+func (o *Observer) Recorder(id addr.NodeID) *Recorder {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	r, ok := o.recs[id]
+	if !ok {
+		r = &Recorder{o: o, node: id}
+		o.recs[id] = r
+	}
+	return r
+}
+
+// Hist returns the named histogram, creating it on first use. Histograms
+// record regardless of the event-recording flag (they are aggregates, like
+// Stats counters, not a window). A nil Observer returns a nil Histogram,
+// whose Observe is a no-op.
+func (o *Observer) Hist(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		o.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns every registered histogram sorted by name.
+func (o *Observer) Histograms() []*Histogram {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Histogram, 0, len(o.hists))
+	for _, h := range o.hists {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// recorders returns the current recorders, sorted by node.
+func (o *Observer) recorders() []*Recorder {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Recorder, 0, len(o.recs))
+	for _, r := range o.recs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].node < out[j].node })
+	return out
+}
+
+// Events merges every node's retained window into one stream ordered by
+// global emission sequence — the cluster-wide flight-recorder picture.
+func (o *Observer) Events() []Event {
+	var out []Event
+	for _, r := range o.recorders() {
+		out = append(out, r.Window()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// NodeWindow returns node id's retained window (nil if the node never
+// recorded).
+func (o *Observer) NodeWindow(id addr.NodeID) []Event {
+	o.mu.Lock()
+	r := o.recs[id]
+	o.mu.Unlock()
+	if r == nil {
+		return nil
+	}
+	return r.Window()
+}
+
+// Reset drops every retained window and histogram (the enable flag and
+// critical-section depths are untouched).
+func (o *Observer) Reset() {
+	for _, r := range o.recorders() {
+		r.reset()
+	}
+	o.mu.Lock()
+	o.hists = make(map[string]*Histogram)
+	o.mu.Unlock()
+}
+
+// SetFatalSink directs fatal flight-recorder dumps to w (default: stderr).
+func (o *Observer) SetFatalSink(w io.Writer) {
+	o.mu.Lock()
+	o.fatal = w
+	o.mu.Unlock()
+}
+
+func (o *Observer) fatalSink() io.Writer {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.fatal == nil {
+		return os.Stderr
+	}
+	return o.fatal
+}
+
+// Fatal records a fatal protocol error at node id and, if recording is
+// enabled, dumps the cluster-wide recent event window to the fatal sink —
+// the flight recorder's black-box readout. The dump is written once per
+// process unless ResetFatalOnce is called (a cascade of errors from one
+// root cause should not bury the first window under later ones).
+func (o *Observer) Fatal(id addr.NodeID, reason string) {
+	if o == nil {
+		return
+	}
+	o.Recorder(id).Emit(Event{Kind: KFatal, Class: ClassNone})
+	if !o.enabled.Load() {
+		return
+	}
+	o.fatalMu.Lock()
+	defer o.fatalMu.Unlock()
+	if o.fatalDumped {
+		return
+	}
+	o.fatalDumped = true
+	w := o.fatalSink()
+	fmt.Fprintf(w, "\n==== flight recorder: fatal at %v: %s ====\n", id, reason)
+	Dump(w, o.Events())
+	fmt.Fprintf(w, "==== end flight recorder ====\n")
+}
+
+// ResetFatalOnce re-arms the one-dump-per-process latch (tests).
+func (o *Observer) ResetFatalOnce() {
+	o.fatalMu.Lock()
+	o.fatalDumped = false
+	o.fatalMu.Unlock()
+}

@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"bmx/internal/addr"
+	"bmx/internal/obs"
 	"bmx/internal/transport"
 )
 
@@ -133,6 +134,11 @@ type Network struct {
 
 	clock *Clock
 	stats *Stats
+
+	// piggyHist aggregates piggybacked GC payload sizes (bytes) per
+	// message that carried any; cached so the hot paths never hit the
+	// observer's registry lock.
+	piggyHist *obs.Histogram
 }
 
 // Network implements the full driver-paced transport contract.
@@ -142,7 +148,7 @@ var _ transport.Network = (*Network)(nil)
 // plan are sanitized (probabilities clamped to [0, 1]).
 func New(opts Options) *Network {
 	opts.LossRate = transport.ClampProb(opts.LossRate)
-	return &Network{
+	nw := &Network{
 		opts:     opts,
 		plan:     opts.Faults.Sanitized(),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
@@ -152,6 +158,9 @@ func New(opts Options) *Network {
 		clock:    &Clock{},
 		stats:    NewStats(),
 	}
+	nw.stats.Observer().SetTickSource(nw.clock.Now)
+	nw.piggyHist = nw.stats.Observer().Hist("net.piggyback.bytes")
+	return nw
 }
 
 // Clock returns the network's simulated clock.
@@ -230,7 +239,7 @@ func (nw *Network) Send(m Msg) bool {
 	partitioned := nw.plan.Partitioned(m.From, m.To)
 	lost := false
 	dup := false
-	var readyAt uint64
+	var readyAt, delayTicks uint64
 	if !partitioned {
 		lost = nw.opts.LossRate > 0 && nw.rng.Float64() < nw.opts.LossRate
 		if !lost {
@@ -242,7 +251,8 @@ func (nw *Network) Send(m Msg) bool {
 					dup = true
 				}
 				if r.Delay > 0 && r.DelayTicks > 0 && nw.rng.Float64() < r.Delay {
-					readyAt = nw.clock.Now() + r.DelayTicks
+					delayTicks = r.DelayTicks
+					readyAt = nw.clock.Now() + delayTicks
 				}
 			}
 		}
@@ -260,6 +270,28 @@ func (nw *Network) Send(m Msg) bool {
 	nw.stats.Add("msg.sent."+m.Class.String(), 1)
 	nw.stats.Add("msg.sent.kind."+m.Kind, 1)
 	nw.stats.Add("bytes.sent."+m.Class.String(), int64(m.Bytes))
+	if m.Piggyback > 0 {
+		nw.piggyHist.Observe(int64(m.Piggyback))
+	}
+	if o := nw.stats.Observer(); o.Enabled() {
+		r := o.Recorder(m.From)
+		mk := obs.MsgKindOf(m.Kind)
+		r.Emit(obs.Event{Kind: obs.KSend, Class: obs.Class(m.Class), Msg: mk,
+			From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback)})
+		switch {
+		case partitioned:
+			r.Emit(obs.Event{Kind: obs.KPartition, Class: obs.Class(m.Class), Msg: mk, From: m.From, To: m.To})
+		case lost:
+			r.Emit(obs.Event{Kind: obs.KDrop, Class: obs.Class(m.Class), Msg: mk, From: m.From, To: m.To, A: int64(m.Bytes)})
+		default:
+			if dup {
+				r.Emit(obs.Event{Kind: obs.KDup, Class: obs.Class(m.Class), Msg: mk, From: m.From, To: m.To, A: int64(m.Seq)})
+			}
+			if readyAt > 0 {
+				r.Emit(obs.Event{Kind: obs.KDelay, Class: obs.Class(m.Class), Msg: mk, From: m.From, To: m.To, B: int64(delayTicks)})
+			}
+		}
+	}
 	if partitioned {
 		nw.stats.Add("msg.partitioned", 1)
 		return false
@@ -292,8 +324,13 @@ func (nw *Network) Call(m Msg) (any, error) {
 	lat := nw.opts.CallLatency
 	partitioned := nw.plan.Partitioned(m.From, m.To)
 	nw.mu.Unlock()
+	o := nw.stats.Observer()
 	if partitioned {
 		nw.stats.Add("msg.partitioned", 1)
+		if o.Enabled() {
+			o.Recorder(m.From).Emit(obs.Event{Kind: obs.KPartition, Class: obs.Class(m.Class),
+				Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To})
+		}
 		return nil, fmt.Errorf("simnet: call %s %v -> %v: %w", m.Kind, m.From, m.To, transport.ErrPartitioned)
 	}
 	if h == nil {
@@ -305,6 +342,13 @@ func (nw *Network) Call(m Msg) (any, error) {
 	nw.stats.Add("msg.sent.kind."+m.Kind, 1)
 	nw.stats.Add("bytes.sent."+m.Class.String(), int64(m.Bytes))
 	nw.stats.Add("bytes.piggyback", int64(m.Piggyback))
+	if m.Piggyback > 0 {
+		nw.piggyHist.Observe(int64(m.Piggyback))
+	}
+	if o.Enabled() {
+		o.Recorder(m.From).Emit(obs.Event{Kind: obs.KCall, Class: obs.Class(m.Class),
+			Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback)})
+	}
 
 	reply, replyBytes, err := h(m)
 
@@ -312,6 +356,10 @@ func (nw *Network) Call(m Msg) (any, error) {
 	nw.stats.Add("msg.sent."+m.Class.String(), 1)
 	nw.stats.Add("msg.sent.kind."+m.Kind+".reply", 1)
 	nw.stats.Add("bytes.sent."+m.Class.String(), int64(replyBytes))
+	if o.Enabled() {
+		o.Recorder(m.From).Emit(obs.Event{Kind: obs.KCallReply, Class: obs.Class(m.Class),
+			Msg: obs.MsgKindOf(m.Kind), From: m.To, To: m.From, A: int64(replyBytes)})
+	}
 	return reply, err
 }
 
@@ -389,6 +437,10 @@ func (nw *Network) pop(keep func(pair) bool) (Msg, Handler, bool) {
 func (nw *Network) dispatch(m Msg, h Handler) {
 	nw.clock.Advance(nw.opts.SendLatency)
 	nw.stats.Add("msg.delivered", 1)
+	if o := nw.stats.Observer(); o.Enabled() {
+		o.Recorder(m.To).Emit(obs.Event{Kind: obs.KDeliver, Class: obs.Class(m.Class),
+			Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes)})
+	}
 	if h != nil {
 		h(m)
 	}

@@ -5,19 +5,41 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"bmx/internal/obs"
 )
 
 // Stats is a concurrency-safe counter registry. Every layer of the system
 // (network, DSM protocol, collectors) records its events here under dotted
 // names, so experiments can assert structural claims such as "the collector
 // acquired zero tokens" or "GC added zero non-piggybacked messages".
+//
+// Every Stats also carries the cluster's obs.Observer — the structured
+// flight recorder that extends these flat counters with an ordered,
+// per-node event window and histograms. Attaching it here means every
+// layer that can already count (anything holding a Transport) can also
+// trace, with no new plumbing.
 type Stats struct {
 	mu sync.Mutex
 	c  map[string]int64
+
+	obs *obs.Observer
 }
 
-// NewStats returns an empty registry.
-func NewStats() *Stats { return &Stats{c: make(map[string]int64)} }
+// NewStats returns an empty registry with a fresh (disabled) observer.
+func NewStats() *Stats {
+	return &Stats{c: make(map[string]int64), obs: obs.NewObserver()}
+}
+
+// Observer returns the flight recorder riding on this registry. It is never
+// nil for a Stats made by NewStats; a zero Stats returns nil, which every
+// obs entry point tolerates.
+func (s *Stats) Observer() *obs.Observer {
+	if s == nil {
+		return nil
+	}
+	return s.obs
+}
 
 // Add increments counter name by d.
 func (s *Stats) Add(name string, d int64) {
