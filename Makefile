@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos bench experiments figures examples cover clean
+.PHONY: all build vet test test-short race chaos bench bench-json experiments figures examples cover clean
 
 all: build vet test
 
@@ -30,6 +30,12 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
+
+# Representative workload run with the time-series sampler on; emits the
+# machine-readable benchmark summary (quantile trajectories, msgs/op, GC
+# copy and scan volume) that CI uploads as an artifact.
+bench-json:
+	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bench-json BENCH_4.json
 
 experiments:
 	$(GO) run ./cmd/bmxbench

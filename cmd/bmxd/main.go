@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"bmx"
+	"bmx/internal/introspect"
 	"bmx/internal/obs"
 	"bmx/internal/trace"
 )
@@ -42,7 +43,12 @@ func main() {
 
 		traceOn   = flag.Bool("trace", false, "enable the flight recorder; dump its retained event window and histograms at exit")
 		traceJSON = flag.Bool("trace-json", false, "like -trace, but dump events as newline-delimited JSON")
-		statsJSON = flag.Bool("stats-json", false, "dump the final counters as sorted JSON instead of text")
+		statsJSON = flag.Bool("stats-json", false, "dump the final counters and histogram snapshots as JSON instead of text")
+
+		httpAddr   = flag.String("http", "", "serve live introspection (/metrics, /events, /objects/<oid>, /series, /debug/pprof) on this address, e.g. :8080 or 127.0.0.1:0")
+		httpHold   = flag.Bool("http-hold", false, "after the run, keep the introspection server alive until killed (scrape mode)")
+		seriesJSON = flag.String("series-json", "", "write the per-round time-series samples as NDJSON to this file (- for stdout)")
+		benchJSON  = flag.String("bench-json", "", "write the run's benchmark summary (quantile trajectories + derived figures) as JSON to this file")
 
 		chaos      = flag.Bool("chaos", false, "run the seeded chaos soak instead of the workload driver")
 		chaosSteps = flag.Int("chaos-steps", 400, "chaos: workload steps in the fault storm")
@@ -99,10 +105,16 @@ func main() {
 	if *traceOn {
 		cl.EnableTracing()
 	}
+	intr := introspection{
+		httpAddr: *httpAddr, hold: *httpHold,
+		seriesPath: *seriesJSON, benchPath: *benchJSON,
+	}
+	intr.start(cl)
 	if *workers > 1 {
 		runParallel(cl, *workers, *objects, *rounds, *gcEvery, *verbose)
-		dumpStats(cl.Stats(), *statsJSON)
+		dumpStats(cl, *statsJSON)
 		dumpTrace(cl.Observer(), *traceOn, *traceJSON)
+		intr.finish(cl)
 		return
 	}
 	n0 := cl.Node(0)
@@ -206,13 +218,99 @@ func main() {
 	fmt.Printf("GC bytes piggybacked on app msgs  : %d\n", st.Get("bytes.piggyback"))
 	fmt.Printf("background messages lost          : %d\n", st.Get("msg.lost"))
 	fmt.Println()
-	dumpStats(st, *statsJSON)
+	dumpStats(cl, *statsJSON)
 	dumpTrace(cl.Observer(), *traceOn, *traceJSON)
 
 	if st.Get("dsm.acquire.r.gc")+st.Get("dsm.acquire.w.gc") != 0 ||
 		st.Get("dsm.invalidation.gc") != 0 {
 		fmt.Fprintln(os.Stderr, "bmxd: COLLECTOR INTERFERED WITH THE CONSISTENCY PROTOCOL")
 		os.Exit(1)
+	}
+	intr.finish(cl)
+}
+
+// introspection bundles the live-readout flags: the HTTP server, the
+// time-series file, and the benchmark summary.
+type introspection struct {
+	httpAddr   string
+	hold       bool
+	seriesPath string
+	benchPath  string
+}
+
+func (in introspection) enabled() bool {
+	return in.httpAddr != "" || in.seriesPath != "" || in.benchPath != ""
+}
+
+// start attaches the sampler (one sample per Run drain) and, with -http,
+// brings up the introspection server before the workload runs so a scraper
+// can watch the run live.
+func (in introspection) start(cl *bmx.Cluster) {
+	if !in.enabled() {
+		return
+	}
+	cl.EnableSampling(0)
+	if in.httpAddr == "" {
+		return
+	}
+	// The /events and /objects endpoints read the flight recorder; serving
+	// them without tracing would 404 every biography.
+	cl.EnableTracing()
+	srv := &introspect.Server{
+		Counters: cl.Stats().Snapshot,
+		Observer: cl.Observer(),
+		Sampler:  cl.Sampler(),
+	}
+	bound, err := srv.Serve(in.httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmxd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bmxd: introspection on http://%s/\n", bound)
+}
+
+// finish writes the series and bench artifacts and, with -http-hold, parks
+// the process so the server stays scrapable.
+func (in introspection) finish(cl *bmx.Cluster) {
+	if !in.enabled() {
+		return
+	}
+	// The final state deserves a sample even if the last round predates it.
+	cl.Sample()
+	if in.seriesPath != "" {
+		w := os.Stdout
+		if in.seriesPath != "-" {
+			f, err := os.Create(in.seriesPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bmxd:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := cl.Sampler().WriteNDJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+	}
+	if in.benchPath != "" {
+		f, err := os.Create(in.benchPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cl.Sampler().Bench()); err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "bmxd: benchmark summary written to %s\n", in.benchPath)
+	}
+	if in.hold && in.httpAddr != "" {
+		fmt.Fprintln(os.Stderr, "bmxd: run complete; holding for scrapes (-http-hold). Kill to exit.")
+		select {}
 	}
 }
 
@@ -247,7 +345,7 @@ func runChaos(o chaosOpts) {
 		rep.Stats["msg.dup"], rep.Stats["msg.delayed"], rep.Stats["msg.partitioned"], rep.Stats["msg.lost"])
 	fmt.Printf("simulated ticks: %d\n", rep.ClockTicks)
 	if o.statsJSON {
-		statsToJSON(os.Stdout, rep.Stats)
+		statsToJSON(os.Stdout, rep.Stats, nil)
 	}
 	if o.trace {
 		dumpEvents(rep.Events, o.traceJSON)
@@ -264,21 +362,35 @@ func runChaos(o chaosOpts) {
 }
 
 // dumpStats prints the final counters, as the flat text table or — with
-// -stats-json — as one JSON object with sorted keys (Go's encoder sorts map
-// keys), so runs diff cleanly.
-func dumpStats(st *bmx.Stats, asJSON bool) {
+// -stats-json — as one JSON object holding the sorted counters plus a
+// snapshot of every histogram (buckets and quantiles), so one file captures
+// the whole run.
+func dumpStats(cl *bmx.Cluster, asJSON bool) {
+	st := cl.Stats()
 	if asJSON {
-		statsToJSON(os.Stdout, st.Snapshot())
+		var hists []obs.HistSummary
+		for _, h := range cl.Observer().Histograms() {
+			if s := h.Summary(); s.Count > 0 {
+				hists = append(hists, s)
+			}
+		}
+		statsToJSON(os.Stdout, st.Snapshot(), hists)
 		return
 	}
 	fmt.Println("-- full counters --")
 	fmt.Print(st.String())
 }
 
-func statsToJSON(w *os.File, snap map[string]int64) {
+// statsJSONDoc is the -stats-json document shape.
+type statsJSONDoc struct {
+	Counters   map[string]int64  `json:"counters"`
+	Histograms []obs.HistSummary `json:"histograms,omitempty"`
+}
+
+func statsToJSON(w *os.File, snap map[string]int64, hists []obs.HistSummary) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
+	if err := enc.Encode(statsJSONDoc{Counters: snap, Histograms: hists}); err != nil {
 		fmt.Fprintln(os.Stderr, "bmxd:", err)
 		os.Exit(1)
 	}

@@ -111,6 +111,10 @@ type Cluster struct {
 	// only mutator entry points do, before any node lock (lock order:
 	// object-op → node → directory → network).
 	objLocks [objStripes]sync.Mutex
+	// sampler, when enabled, cuts a time-series point (counter deltas +
+	// histogram summaries) after every Run drain. Set once before the
+	// cluster starts running; the Sampler itself is internally locked.
+	sampler *obs.Sampler
 }
 
 // Node is one site of the cluster: its heap, protocol engine, collector and
@@ -213,6 +217,30 @@ func (cl *Cluster) TraceWindow() []obs.Event {
 // Clock returns the simulated clock (internally locked).
 func (cl *Cluster) Clock() *transport.Clock { return cl.net.Clock() }
 
+// EnableSampling attaches a time-series sampler reading the cluster's
+// counters and histograms; thereafter every Run drain cuts one sample at
+// the current simulated tick (and Sample can cut one explicitly). Capacity
+// bounds the retained ring; <= 0 selects the default. Idempotent: a second
+// call returns the existing sampler.
+func (cl *Cluster) EnableSampling(capacity int) *obs.Sampler {
+	if cl.sampler == nil {
+		cl.sampler = obs.NewSampler(capacity, cl.Stats().Snapshot, cl.Observer())
+	}
+	return cl.sampler
+}
+
+// Sampler returns the attached time-series sampler, nil until
+// EnableSampling.
+func (cl *Cluster) Sampler() *obs.Sampler { return cl.sampler }
+
+// Sample cuts one time-series point at the current simulated tick. No-op
+// until EnableSampling.
+func (cl *Cluster) Sample() {
+	if cl.sampler != nil {
+		cl.sampler.Sample(cl.Clock().Now())
+	}
+}
+
 // Directory exposes the cluster metadata service (read-mostly; used by
 // tools and experiments).
 func (cl *Cluster) Directory() *core.Directory { return cl.dir }
@@ -259,8 +287,14 @@ func (cl *Cluster) HealAll() {
 func (cl *Cluster) Step() bool { return cl.net.Step() }
 
 // Run delivers pending background messages until none remain (limit <= 0)
-// or limit deliveries were made, returning the count.
-func (cl *Cluster) Run(limit int) int { return cl.net.Run(limit) }
+// or limit deliveries were made, returning the count. With sampling
+// enabled, each drain ends by cutting one time-series sample — Run is the
+// driver's round boundary, so the series gets one point per round.
+func (cl *Cluster) Run(limit int) int {
+	n := cl.net.Run(limit)
+	cl.Sample()
+	return n
+}
 
 // Pending reports undelivered background messages (internally locked).
 func (cl *Cluster) Pending() int { return cl.net.Pending() }

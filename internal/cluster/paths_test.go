@@ -24,20 +24,20 @@ func TestRerouteViaManagerHint(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt n3's route into a cycle with n1 (stale learn-edges can do
-	// this in principle); the acquire must recover through the manager's
-	// probable-owner hint.
+	// this in principle); the chain must spot the revisit at n1 and route
+	// around it to the manager's probable owner instead of bouncing.
 	n3.DSM().Learn(o.OID, b, n3.ID()) // no-op on existing state
 	// Force-corrupt: point n3 at n1 and n1 at n3.
 	n1.DSM().Forget(o.OID)
 	n1.DSM().Learn(o.OID, b, n3.ID())
 	n3.DSM().Forget(o.OID)
 	n3.DSM().Learn(o.OID, b, n1.ID())
-	before := cl.Stats().Get("dsm.rerouted")
+	before := cl.Stats().Get("dsm.route.cycleAvoided")
 	if err := n3.AcquireWrite(o); err != nil {
 		t.Fatalf("acquire through corrupted chain: %v", err)
 	}
-	if cl.Stats().Get("dsm.rerouted") != before+1 {
-		t.Fatal("recovery did not use the manager reroute")
+	if cl.Stats().Get("dsm.route.cycleAvoided") != before+1 {
+		t.Fatal("recovery did not route around the cycle")
 	}
 	if !n3.IsOwner(o) {
 		t.Fatal("ownership did not arrive")

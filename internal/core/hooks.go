@@ -5,6 +5,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
+	"bmx/internal/mem"
 	"bmx/internal/ssp"
 )
 
@@ -361,22 +362,68 @@ func (c *Collector) OwnerHint(o addr.OID) addr.NodeID {
 	return c.dir.OwnerHintOf(o)
 }
 
-// RouteFallback picks a chain start when the local route is broken: the
-// manager's probable owner first, then any other holder of the bunch.
-func (c *Collector) RouteFallback(o addr.OID) addr.NodeID {
-	if n := c.dir.OwnerHintOf(o); n != addr.NoNode && n != c.node {
-		return n
+// RouteCandidates lists every plausible owner of o, most likely first: the
+// manager's probable owner, then every node with content of the object's
+// bunch (Holders is a superset of the possible owners — becoming owner
+// materializes the object locally, which registers the node as at least an
+// interested holder, and holders are never forgotten).
+func (c *Collector) RouteCandidates(o addr.OID) []addr.NodeID {
+	var out []addr.NodeID
+	if h := c.dir.OwnerHintOf(o); h != addr.NoNode {
+		out = append(out, h)
 	}
 	b := c.dir.BunchOf(o)
 	if b == addr.NoBunch {
-		return addr.NoNode
+		return out
 	}
 	for _, h := range c.dir.Holders(b) {
-		if h != c.node {
-			return h
+		if len(out) > 0 && h == out[0] {
+			continue
 		}
+		out = append(out, h)
 	}
-	return addr.NoNode
+	return out
+}
+
+// Reestablish re-creates o's storage at this node: fresh (or still locally
+// cached) contents at a fresh canonical address, superseding every older
+// location. Called by the protocol when an acquire chain proved the object
+// reclaimed on every node while a live handle still names it — the
+// persistent store faults it back in rather than failing the mutator.
+// Reports false when the directory has no record of the object (the handle
+// is truly dangling).
+func (c *Collector) Reestablish(o addr.OID) bool {
+	info, ok := c.dir.Object(o)
+	if !ok {
+		return false
+	}
+	if !c.dir.HasReplica(info.Bunch, c.node) {
+		c.dir.AddInterested(info.Bunch, c.node)
+	}
+	a, live := c.heap.Canonical(o)
+	if live {
+		a = c.heap.Resolve(a)
+		live = c.heap.Mapped(a) && c.heap.IsObjectAt(a) && c.heap.ObjOID(a) == o
+	}
+	if !live {
+		rep := c.Replica(info.Bunch)
+		if rep.allocSeg == nil || rep.allocSeg.FreeWords() < mem.HeaderWords+info.Size {
+			rep.allocSeg = c.newAllocSeg(info.Bunch)
+		}
+		var ok2 bool
+		a, ok2 = c.heap.Alloc(rep.allocSeg, o, info.Size)
+		if !ok2 {
+			return false
+		}
+		c.dir.RecordPlacement(a, o)
+	}
+	c.heap.SetCanonical(o, a)
+	// Supersede every location manifest in flight: a delayed older address
+	// must not move the resurrected object backward at any holder.
+	c.locEpoch[o]++
+	c.queueLocation(o, info.Bunch, a, c.heap.ObjSize(a))
+	c.stats().Add("core.reestablished", 1)
+	return true
 }
 
 // BunchOf maps an object to its bunch via the directory.

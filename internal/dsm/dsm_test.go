@@ -19,20 +19,24 @@ type fakeEnv struct {
 	hint   map[addr.OID]addr.NodeID
 	refs   map[addr.OID][]addr.OID // object graph for GrantManifests
 	sizeOf map[addr.OID]int
+	// candidates backs RouteCandidates; reestablishable gates Reestablish.
+	candidates      map[addr.OID][]addr.NodeID
+	reestablishable map[addr.OID]bool
 }
 
 type fakeHooks struct {
 	env *fakeEnv
 	id  addr.NodeID
 
-	addrs     map[addr.OID]addr.Addr
-	data      map[addr.OID][]uint64
-	stubsFor  map[addr.OID]bool // node holds stubs for these (invariant 3)
-	pending   map[addr.NodeID][]Manifest
-	applied   []Manifest
-	intraMade []IntraSSPReq // scions created here as old owner
-	intraGot  []IntraSSPReq // stubs created here as new owner
-	onOwned   func(addr.OID)
+	addrs         map[addr.OID]addr.Addr
+	data          map[addr.OID][]uint64
+	stubsFor      map[addr.OID]bool // node holds stubs for these (invariant 3)
+	pending       map[addr.NodeID][]Manifest
+	applied       []Manifest
+	intraMade     []IntraSSPReq // scions created here as old owner
+	intraGot      []IntraSSPReq // stubs created here as new owner
+	reestablished []addr.OID    // objects faulted back in at this node
+	onOwned       func(addr.OID)
 }
 
 func newFakeEnv(t *testing.T, n int) *fakeEnv {
@@ -45,6 +49,9 @@ func newFakeEnv(t *testing.T, n int) *fakeEnv {
 		hint:   make(map[addr.OID]addr.NodeID),
 		refs:   make(map[addr.OID][]addr.OID),
 		sizeOf: make(map[addr.OID]int),
+
+		candidates:      make(map[addr.OID][]addr.NodeID),
+		reestablishable: make(map[addr.OID]bool),
 	}
 	for i := 0; i < n; i++ {
 		id := addr.NodeID(i)
@@ -129,7 +136,15 @@ func (h *fakeHooks) NextTableGen(b addr.BunchID) uint64 { return 1 }
 
 func (h *fakeHooks) OwnerHint(o addr.OID) addr.NodeID { return h.env.hint[o] }
 
-func (h *fakeHooks) RouteFallback(o addr.OID) addr.NodeID { return addr.NoNode }
+func (h *fakeHooks) RouteCandidates(o addr.OID) []addr.NodeID { return h.env.candidates[o] }
+
+func (h *fakeHooks) Reestablish(o addr.OID) bool {
+	if h.env.reestablishable[o] {
+		h.reestablished = append(h.reestablished, o)
+		return true
+	}
+	return false
+}
 
 func (h *fakeHooks) BunchOf(o addr.OID) addr.BunchID { return h.env.bunch[o] }
 

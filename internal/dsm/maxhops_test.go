@@ -1,7 +1,7 @@
 package dsm
 
 import (
-	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -10,19 +10,19 @@ import (
 	"bmx/internal/simnet"
 )
 
-// TestMaxHopsErrorNamesTheCycle forces the one routing pathology the hop
-// bound exists for — ownerPtr edges among non-owners forming a cycle — and
-// pins down the diagnostics: the error names the traversed node sequence,
-// the flight recorder dumps the window, and the hop-trail probe recovers
-// the repeating pattern from the event stream.
-func TestMaxHopsErrorNamesTheCycle(t *testing.T) {
+// TestRoutingCycleDetectedAndNamed forces the one routing pathology the Via
+// list exists for — ownerPtr edges among non-owners forming a cycle — and
+// pins down the diagnostics: the chain refuses to revisit a node, the error
+// is ErrNoOwner and names the traversed node sequence, and the hop-trail
+// probe recovers the truncated walk from the event stream. The hop bound
+// never fires: a chain that only ever visits fresh nodes is bounded by the
+// cluster size, far under maxHops.
+func TestRoutingCycleDetectedAndNamed(t *testing.T) {
 	env := newFakeEnv(t, 3)
 	const o = addr.OID(36)
 
 	obsv := env.net.Stats().Observer()
 	obsv.Enable()
-	var dump bytes.Buffer
-	obsv.SetFatalSink(&dump)
 
 	// O36 is deliberately not registered anywhere: N2 and N3 are stale
 	// non-owner replicas whose hint edges point at each other (the kind of
@@ -34,37 +34,47 @@ func TestMaxHopsErrorNamesTheCycle(t *testing.T) {
 
 	err := env.nodes[0].Acquire(o, ModeWrite, simnet.ClassApp)
 	if err == nil {
-		t.Fatal("acquire through a routing cycle must fail")
+		t.Fatal("acquire through a routing cycle with no owner must fail")
+	}
+	if !errors.Is(err, ErrNoOwner) {
+		t.Fatalf("error is not ErrNoOwner: %v", err)
 	}
 	msg := err.Error()
-	if !strings.Contains(msg, "exceeded 10 hops") {
-		t.Fatalf("error lost the hop bound: %v", err)
-	}
-	// The traversed sequence must be spelled out, and the cycle must be
-	// visible in it as a repeating pattern.
+	// The traversed sequence must be spelled out: the chain walked the loop
+	// once and stopped at the first revisit instead of ping-ponging to the
+	// hop bound.
 	if !strings.Contains(msg, "path N1 -> N2 -> N3") {
 		t.Fatalf("error does not name the traversed path: %v", err)
 	}
-	if !strings.Contains(msg, "N2 -> N3 -> N2 -> N3") {
-		t.Fatalf("error does not show the repeating cycle: %v", err)
+	if strings.Contains(msg, "exceeded") {
+		t.Fatalf("the hop bound fired; the cycle should be detected first: %v", err)
+	}
+	if got := env.net.Stats().Get("dsm.route.exhausted"); got == 0 {
+		t.Fatal("dsm.route.exhausted counter not bumped")
 	}
 
-	// The same diagnosis must fall out of the event stream.
+	// The same walk must fall out of the event stream: exactly one forward
+	// (N2 -> N3) happened before N3 spotted the revisit; the old behavior
+	// left a long repeating trail here.
 	trail := obs.HopTrail(obsv.Events(), o)
-	if len(trail) < 4 {
-		t.Fatalf("hop trail too short: %v", trail)
-	}
-	cyc := obs.CycleIn(trail)
-	if len(cyc) != 2 {
-		t.Fatalf("CycleIn(%v) = %v, want the 2-node loop", trail, cyc)
-	}
-	if !(cyc[0] == 1 && cyc[1] == 2 || cyc[0] == 2 && cyc[1] == 1) {
-		t.Fatalf("cycle = %v, want N2/N3", cyc)
+	if len(trail) != 1 || trail[0] != 1 {
+		t.Fatalf("hop trail = %v, want [N2] (one forward, no revisit)", trail)
 	}
 
-	// The fatal path must have dumped the recent window.
-	if !strings.Contains(dump.String(), "flight recorder: fatal at") ||
-		!strings.Contains(dump.String(), "dsm.acquire.hop") {
-		t.Fatalf("missing or empty flight-recorder dump:\n%s", dump.String())
+	// Once the object is registered as re-establishable — the directory
+	// still names it — the same acquire succeeds: the requester faults the
+	// object back in and becomes its owner.
+	env.reestablishable[o] = true
+	if err := env.nodes[0].Acquire(o, ModeWrite, simnet.ClassApp); err != nil {
+		t.Fatalf("acquire with reestablish available: %v", err)
+	}
+	if !env.nodes[0].IsOwner(o) {
+		t.Fatal("requester did not become owner after reestablish")
+	}
+	if got := env.hooks[0].reestablished; len(got) != 1 || got[0] != o {
+		t.Fatalf("reestablished = %v, want [O36]", got)
+	}
+	if got := env.net.Stats().Get("dsm.reestablished"); got != 1 {
+		t.Fatalf("dsm.reestablished = %d, want 1", got)
 	}
 }

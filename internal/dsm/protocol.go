@@ -1,6 +1,7 @@
 package dsm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,15 @@ import (
 	"bmx/internal/obs"
 	"bmx/internal/transport"
 )
+
+// ErrNoOwner reports that an acquire chain consulted every node that could
+// possibly own the object — every hop goes to a node the chain has not yet
+// visited, and visited nodes are proven non-owners because acquires for one
+// object are serialized — and none owned it: the object was reclaimed on
+// every node and only stale routing state survives. The requester treats
+// this as a fault-in request against the persistent store (reestablish),
+// not as a protocol fatal.
+var ErrNoOwner = errors.New("dsm: object has no owner anywhere")
 
 // Message kinds. The cluster routes incoming messages with these prefixes to
 // the DSM layer.
@@ -163,9 +173,12 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 	if target == n.id {
 		// The chain starts at this node's own allocation-site hint but the
 		// local route is gone (the replica was reclaimed here). Try any
-		// other holder of the bunch before declaring the handle dangling.
-		target = n.hooks.RouteFallback(o)
-		if target == addr.NoNode || target == n.id {
+		// other plausible owner before concluding the object is unowned.
+		target = n.routeAround(o, []addr.NodeID{n.id})
+		if target == addr.NoNode {
+			if n.reestablish(o, st, mode, class) {
+				return nil
+			}
 			n.rec.Emit(obs.Event{Kind: obs.KRouteDangling, Class: obs.Class(class), OID: o})
 			return fmt.Errorf("dsm: %v holds a dangling handle to reclaimed object %v", n.id, o)
 		}
@@ -189,8 +202,15 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 		Payload: req, Bytes: 32 + pb, Piggyback: pb,
 	})
 	if err != nil {
-		// The chain failed — stale hint edges (from manifests) can form
-		// cycles among non-owners that the transfer edges never do. Retry
+		if errors.Is(err, ErrNoOwner) {
+			// The chain was exhaustive: every plausible owner was visited
+			// and none owned the object. Fault it back in locally.
+			if n.reestablish(o, st, mode, class) {
+				return nil
+			}
+			return err
+		}
+		// The chain failed for a transient reason (e.g. a partition). Retry
 		// once through the manager's probable owner, which is on a sound
 		// transfer chain by construction.
 		hint := n.hooks.OwnerHint(o)
@@ -208,6 +228,9 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 			Payload: req, Bytes: 32, Piggyback: 0,
 		})
 		if err != nil {
+			if errors.Is(err, ErrNoOwner) && n.reestablish(o, st, mode, class) {
+				return nil
+			}
 			return err
 		}
 	}
@@ -339,17 +362,31 @@ func (n *Node) forwardAcquire(req acquireReq, st *ObjState) (acquireReply, error
 		n.net.Stats().Observer().Fatal(n.id, err.Error())
 		return acquireReply{}, err
 	}
-	if st.OwnerPtr == addr.NoNode || st.OwnerPtr == n.id {
-		if alt := n.hooks.RouteFallback(req.O); alt != addr.NoNode && alt != n.id && alt != req.Requester {
-			st.OwnerPtr = alt
-		} else {
-			return acquireReply{}, fmt.Errorf("dsm: %v cannot route %v request for %v (object reclaimed here)",
-				n.id, req.Mode, req.O)
+	seen := append(append([]addr.NodeID(nil), req.Via...), n.id)
+	if st.OwnerPtr == addr.NoNode || st.OwnerPtr == n.id || inVia(req.Via, st.OwnerPtr) {
+		// The local route is broken (replica reclaimed here) or points back
+		// into the chain — the stale-manifest edges that caused the O36
+		// ping-pong. Route around it: forward to any plausible owner the
+		// chain has not consulted. Visited nodes are proven non-owners
+		// (ownership of one object cannot move while its acquire chain
+		// runs), so when no unvisited candidate remains, no owner exists
+		// anywhere and the requester must re-establish the object instead.
+		alt := n.routeAround(req.O, seen)
+		if alt == addr.NoNode {
+			n.stats().Add("dsm.route.exhausted", 1)
+			return acquireReply{}, fmt.Errorf("dsm: %v cannot route %v request for %v (path %s): %w",
+				n.id, req.Mode, req.O, pathString(seen), ErrNoOwner)
 		}
+		if st.OwnerPtr != addr.NoNode && st.OwnerPtr != n.id {
+			n.stats().Add("dsm.route.cycleAvoided", 1)
+			n.rec.Emit(obs.Event{Kind: obs.KRouteCycle, Class: obs.Class(req.Class), OID: req.O,
+				From: st.OwnerPtr, To: alt, A: int64(req.Hops)})
+		}
+		st.OwnerPtr = alt
 	}
 	fwd := req
 	fwd.Hops++
-	fwd.Via = append(append([]addr.NodeID(nil), req.Via...), n.id)
+	fwd.Via = seen
 	fwd.Piggyback = n.hooks.TakePendingManifests(st.OwnerPtr)
 	n.stats().Add("dsm.forwards", 1)
 	n.rec.Emit(obs.Event{Kind: obs.KAcquireHop, Class: obs.Class(req.Class), OID: req.O,
@@ -497,6 +534,48 @@ func (n *Node) invalidateCopySet(o addr.OID, st *ObjState, class transport.Class
 		delete(st.CopySet, c)
 	}
 	return firstErr
+}
+
+// inVia reports whether the chain has already visited id.
+func inVia(via []addr.NodeID, id addr.NodeID) bool {
+	for _, v := range via {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// routeAround picks the first plausible owner the chain has not yet visited,
+// or NoNode when every candidate has been consulted.
+func (n *Node) routeAround(o addr.OID, seen []addr.NodeID) addr.NodeID {
+	for _, c := range n.hooks.RouteCandidates(o) {
+		if c != n.id && !inVia(seen, c) {
+			return c
+		}
+	}
+	return addr.NoNode
+}
+
+// reestablish faults an object back into the store at this node after the
+// chain proved it unowned everywhere: the directory still names the object
+// (a live handle reached it), so the acquire re-creates its storage — this
+// node becomes the owner — instead of failing the mutator. No consistent
+// copy survives anywhere, so the last locally cached words (or zeroes) are
+// as valid as any.
+func (n *Node) reestablish(o addr.OID, st *ObjState, mode Mode, class transport.Class) bool {
+	if !n.hooks.Reestablish(o) {
+		return false
+	}
+	st.RoutingOnly = false
+	st.Owner = true
+	st.Mode = mode
+	st.OwnerPtr = addr.NoNode
+	st.CopySet = make(map[addr.NodeID]bool)
+	n.stats().Add("dsm.reestablished", 1)
+	n.rec.Emit(obs.Event{Kind: obs.KReestablish, Class: obs.Class(class), OID: o, A: int64(mode)})
+	n.hooks.OnOwnershipAcquired(o)
+	return true
 }
 
 // pathString renders a traversed node sequence as "N1 -> N2 -> N1".

@@ -205,11 +205,19 @@ type Hooks interface {
 	// object this node has no protocol state for (the allocation site
 	// recorded in the cluster directory).
 	OwnerHint(o addr.OID) addr.NodeID
-	// RouteFallback returns an alternative chain start when the normal
-	// route is broken (the hint points back at this node after a local
-	// reclaim): any other node holding content of the object's bunch.
-	// NoNode means no alternative exists.
-	RouteFallback(o addr.OID) addr.NodeID
+	// RouteCandidates returns every plausible chain target for o, most
+	// likely first: the manager's probable owner, then every node holding
+	// content of the object's bunch. The set must be a superset of the
+	// possible owners — an owner necessarily holds content of the bunch —
+	// so a chain that has visited every candidate without finding an owner
+	// has proven the object unowned everywhere.
+	RouteCandidates(o addr.OID) []addr.NodeID
+	// Reestablish re-creates local storage for an object the protocol has
+	// proven unowned on every node (reclaimed everywhere) but which a
+	// still-live handle names: the persistent store faults it back in. It
+	// reports false when the object is unknown to the cluster directory,
+	// in which case the handle is truly dangling.
+	Reestablish(o addr.OID) bool
 	// BunchOf maps an object to its bunch.
 	BunchOf(o addr.OID) addr.BunchID
 }

@@ -43,6 +43,8 @@ const (
 	KRelease       // critical section ended
 	KOwnerTransfer // this node became owner: OID
 	KRouteDangling // acquire found no route (fatal): OID
+	KRouteCycle    // stale ownerPtr pointed back into the chain; routed around: From=stale target, To=chosen candidate
+	KReestablish   // object proven unowned everywhere; re-created here as owner: A=mode
 
 	// Transport (internal/simnet).
 	KSend      // async message enqueued: From, To, A=bytes, B=piggyback bytes
@@ -85,6 +87,8 @@ var kindNames = [...]string{
 	KRelease:       "dsm.release",
 	KOwnerTransfer: "dsm.ownerTransfer",
 	KRouteDangling: "dsm.routeDangling",
+	KRouteCycle:    "dsm.route.cycle",
+	KReestablish:   "dsm.reestablish",
 	KSend:          "net.send",
 	KDeliver:       "net.deliver",
 	KDrop:          "net.drop",
@@ -118,6 +122,7 @@ var kindPeers = [...]bool{
 	KReroute:       true,
 	KInvalidate:    true,
 	KOwnerTransfer: true,
+	KRouteCycle:    true,
 	KSend:          true,
 	KDeliver:       true,
 	KDrop:          true,

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync"
 )
@@ -62,6 +63,7 @@ type HistSummary struct {
 	Mean  float64 `json:"mean"`
 	P50   int64   `json:"p50"`
 	P90   int64   `json:"p90"`
+	P95   int64   `json:"p95"`
 	P99   int64   `json:"p99"`
 	// Buckets maps the inclusive upper bound of each non-empty power-of-two
 	// bucket to its count.
@@ -79,43 +81,159 @@ func bucketUpper(b int) int64 {
 	return int64(1)<<b - 1
 }
 
+// bucketLower is the smallest value falling into bucket b.
+func bucketLower(b int) int64 {
+	if b <= 1 {
+		return int64(b)
+	}
+	return int64(1) << (b - 1)
+}
+
+// HistSnapshot is a copy of a histogram's raw state: the full bucket array
+// plus the running aggregates. Snapshots subtract (per-interval
+// distributions for the time-series sampler) and merge (cross-node or
+// cross-run aggregation); both are exact on the bucket counts.
+type HistSnapshot struct {
+	Name    string             `json:"name,omitempty"`
+	Count   int64              `json:"count"`
+	Sum     int64              `json:"sum"`
+	Min     int64              `json:"min"`
+	Max     int64              `json:"max"`
+	Buckets [histBuckets]int64 `json:"buckets"`
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Name: h.name, Count: h.count, Sum: h.sum,
+		Min: h.min, Max: h.max, Buckets: h.buckets,
+	}
+}
+
+// Sub returns the distribution of the observations made after prev, an
+// earlier snapshot of the same histogram. Bucket counts and the sum are
+// exact; the extrema of the window are not recoverable from two snapshots,
+// so Min and Max are the bounds of the window's outermost non-empty buckets.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Name: s.Name, Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	lo, hi := -1, -1
+	for b := range s.Buckets {
+		c := s.Buckets[b] - prev.Buckets[b]
+		d.Buckets[b] = c
+		if c > 0 {
+			if lo < 0 {
+				lo = b
+			}
+			hi = b
+		}
+	}
+	if hi >= 0 {
+		d.Min, d.Max = bucketLower(lo), bucketUpper(hi)
+	}
+	return d
+}
+
+// Merge returns the combined distribution of two snapshots.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	m := HistSnapshot{Name: s.Name, Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	switch {
+	case s.Count == 0:
+		m.Min, m.Max = o.Min, o.Max
+	case o.Count == 0:
+		m.Min, m.Max = s.Min, s.Max
+	default:
+		m.Min, m.Max = min(s.Min, o.Min), max(s.Max, o.Max)
+	}
+	for b := range s.Buckets {
+		m.Buckets[b] = s.Buckets[b] + o.Buckets[b]
+	}
+	return m
+}
+
+// Quantile returns a conservative nearest-rank estimate of the p-quantile:
+// the upper bound of the bucket containing the ceil(p*n)-th observation,
+// clamped to the observed maximum, so the true quantile is never above the
+// reported one.
+func (s HistSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for b, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			return min(bucketUpper(b), s.Max)
+		}
+	}
+	return s.Max
+}
+
+// HistBucket is one cumulative histogram bucket: Count observations were <=
+// LE (Prometheus bucket semantics).
+type HistBucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// CumBuckets returns the cumulative bucket counts up to the highest
+// non-empty bucket. The implicit +Inf bucket equals Count.
+func (s HistSnapshot) CumBuckets() []HistBucket {
+	hi := -1
+	for b, c := range s.Buckets {
+		if c != 0 {
+			hi = b
+		}
+	}
+	if hi < 0 {
+		return nil
+	}
+	out := make([]HistBucket, 0, hi+1)
+	var cum int64
+	for b := 0; b <= hi; b++ {
+		cum += s.Buckets[b]
+		out = append(out, HistBucket{LE: bucketUpper(b), Count: cum})
+	}
+	return out
+}
+
+// Summary condenses the snapshot into counts, extrema and approximate
+// quantiles.
+func (s HistSnapshot) Summary() HistSummary {
+	out := HistSummary{Name: s.Name, Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max}
+	if s.Count == 0 {
+		return out
+	}
+	out.Mean = float64(s.Sum) / float64(s.Count)
+	out.Buckets = make(map[int64]int64)
+	for b, c := range s.Buckets {
+		if c != 0 {
+			out.Buckets[bucketUpper(b)] = c
+		}
+	}
+	out.P50 = s.Quantile(0.50)
+	out.P90 = s.Quantile(0.90)
+	out.P95 = s.Quantile(0.95)
+	out.P99 = s.Quantile(0.99)
+	return out
+}
+
 // Summary returns the current counts, extrema and approximate quantiles
 // (quantiles are upper bounds of the containing power-of-two bucket, so they
 // are conservative: the true quantile is never above the reported one).
 func (h *Histogram) Summary() HistSummary {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := HistSummary{Name: h.name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-	if h.count == 0 {
-		return s
-	}
-	s.Mean = float64(h.sum) / float64(h.count)
-	s.Buckets = make(map[int64]int64)
-	for b, c := range h.buckets {
-		if c != 0 {
-			s.Buckets[bucketUpper(b)] = c
-		}
-	}
-	q := func(p float64) int64 {
-		want := int64(p * float64(h.count))
-		if want >= h.count {
-			want = h.count - 1
-		}
-		var seen int64
-		for b, c := range h.buckets {
-			seen += c
-			if seen > want {
-				u := bucketUpper(b)
-				if u > h.max {
-					u = h.max
-				}
-				return u
-			}
-		}
-		return h.max
-	}
-	s.P50, s.P90, s.P99 = q(0.50), q(0.90), q(0.99)
-	return s
+	return h.Snapshot().Summary()
 }
 
 // String renders a one-line summary.

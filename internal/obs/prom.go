@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition of the counter set and the histogram registry.
+// Rendering is pure — it takes a counter snapshot and histogram snapshots,
+// so the introspection server can serve /metrics without obs importing
+// transport (the dependency runs the other way).
+
+// promName converts a dotted internal name ("dsm.acquire.w.app") into a
+// Prometheus metric name ("bmx_dsm_acquire_w_app").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("bmx_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePromText renders the counters and histogram snapshots in the
+// Prometheus text exposition format (version 0.0.4): every counter becomes a
+// `counter` family, every histogram a `histogram` family with cumulative
+// `_bucket{le=...}` samples, `_sum` and `_count`.
+func WritePromText(w io.Writer, counters map[string]int64, hists []HistSnapshot) error {
+	bw := bufio.NewWriter(w)
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n := promName(k)
+		fmt.Fprintf(bw, "# HELP %s Cumulative count of %s events.\n", n, k)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+		fmt.Fprintf(bw, "%s %d\n", n, counters[k])
+	}
+	for _, h := range hists {
+		n := promName(h.Name)
+		fmt.Fprintf(bw, "# HELP %s Distribution of %s (power-of-two buckets).\n", n, h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		for _, b := range h.CumBuckets() {
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", n, b.LE, b.Count)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+	return bw.Flush()
+}
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: its declared type and its samples
+// keyed by the full sample name (family name plus _bucket/_sum/_count
+// suffixes for histograms).
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples map[string][]PromSample
+}
+
+// ParsePromText is a strict parser for the subset of the Prometheus text
+// format the renderer above emits. It is the validation half used by the
+// tests and the CI metrics-smoke job: every sample line must parse, belong
+// to a family declared by a preceding # TYPE line, and histogram bucket
+// series must be cumulative with an le label ending at +Inf == _count.
+func ParsePromText(r io.Reader) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 3 || (f[1] != "HELP" && f[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if f[1] == "TYPE" {
+				if len(f) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE %q", lineNo, line)
+				}
+				fams[f[2]] = &PromFamily{Name: f[2], Type: f[3], Samples: map[string][]PromSample{}}
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyOf(fams, name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		fam.Samples[name] = append(fam.Samples[name], PromSample{Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range fams {
+		if err := validateFamily(fam); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its declared family, stripping
+// histogram suffixes.
+func familyOf(fams map[string]*PromFamily, name string) *PromFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := fams[base]; ok && f.Type == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = map[string]string{}
+		for _, pair := range strings.Split(rest[i+1:end], ",") {
+			if pair == "" {
+				continue
+			}
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			v := pair[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value %q", pair)
+			}
+			labels[pair[:eq]] = v[1 : len(v)-1]
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		f := strings.Fields(rest)
+		if len(f) != 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = f[0], f[1]
+	}
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	value, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validateFamily enforces the histogram shape: cumulative buckets with an le
+// label, a +Inf bucket, and +Inf count equal to _count.
+func validateFamily(fam *PromFamily) error {
+	if fam.Type != "histogram" {
+		return nil
+	}
+	buckets := fam.Samples[fam.Name+"_bucket"]
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram %s has no buckets", fam.Name)
+	}
+	prev := -1.0
+	sawInf := false
+	var infCount float64
+	for _, b := range buckets {
+		le, ok := b.Labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram %s bucket missing le", fam.Name)
+		}
+		if le == "+Inf" {
+			sawInf = true
+			infCount = b.Value
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %s: bad le %q", fam.Name, le)
+		}
+		if f <= prev {
+			return fmt.Errorf("histogram %s: le not increasing at %v", fam.Name, f)
+		}
+		prev = f
+	}
+	if !sawInf {
+		return fmt.Errorf("histogram %s has no +Inf bucket", fam.Name)
+	}
+	counts := fam.Samples[fam.Name+"_count"]
+	if len(counts) != 1 || counts[0].Value != infCount {
+		return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", fam.Name, infCount, counts)
+	}
+	if len(fam.Samples[fam.Name+"_sum"]) != 1 {
+		return fmt.Errorf("histogram %s missing _sum", fam.Name)
+	}
+	// Cumulative: non-+Inf bucket values must be non-decreasing in le order
+	// (they were emitted in order).
+	prevV := -1.0
+	for _, b := range buckets {
+		if b.Labels["le"] == "+Inf" {
+			continue
+		}
+		if b.Value < prevV {
+			return fmt.Errorf("histogram %s: bucket counts not cumulative", fam.Name)
+		}
+		prevV = b.Value
+	}
+	return nil
+}

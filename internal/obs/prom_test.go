@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromTextRoundTrip renders a realistic counter set plus histograms and
+// feeds the output back through the strict parser — the same check the CI
+// metrics-smoke job runs against a live /metrics endpoint.
+func TestPromTextRoundTrip(t *testing.T) {
+	counters := map[string]int64{
+		"msg.sent.app":      120,
+		"msg.sent.gc":       4,
+		"dsm.acquire.w.app": 37,
+		"gc.bunch.runs":     6,
+	}
+	h := &Histogram{name: "acquire.hops"}
+	for _, v := range []int64{0, 1, 1, 2, 3, 3, 3, 9} {
+		h.Observe(v)
+	}
+	h2 := &Histogram{name: "tick.latency"}
+	h2.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, counters, []HistSnapshot{h.Snapshot(), h2.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	fams, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("render does not parse: %v\n%s", err, text)
+	}
+	c, ok := fams["bmx_msg_sent_app"]
+	if !ok || c.Type != "counter" {
+		t.Fatalf("counter family missing: %+v", fams)
+	}
+	if got := c.Samples["bmx_msg_sent_app"][0].Value; got != 120 {
+		t.Fatalf("counter value = %v", got)
+	}
+
+	hist, ok := fams["bmx_acquire_hops"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatal("histogram family missing")
+	}
+	buckets := hist.Samples["bmx_acquire_hops_bucket"]
+	// The le="1" cumulative bucket holds 0,1,1 → 3; the final parsed +Inf
+	// bucket must equal the total count 8 (validateFamily already asserted
+	// it matches _count).
+	var le1, inf float64
+	for _, b := range buckets {
+		switch b.Labels["le"] {
+		case "1":
+			le1 = b.Value
+		case "+Inf":
+			inf = b.Value
+		}
+	}
+	if le1 != 3 || inf != 8 {
+		t.Fatalf("buckets le1=%v inf=%v\n%s", le1, inf, text)
+	}
+	if hist.Samples["bmx_acquire_hops_sum"][0].Value != 22 {
+		t.Fatalf("sum sample wrong:\n%s", text)
+	}
+}
+
+func TestPromParserRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"bmx_orphan 3\n", // sample with no TYPE
+		"# TYPE bmx_h histogram\nbmx_h_bucket{le=\"1\"} 2\nbmx_h_sum 2\nbmx_h_count 2\n",                                                        // no +Inf
+		"# TYPE bmx_h histogram\nbmx_h_bucket{le=\"4\"} 2\nbmx_h_bucket{le=\"1\"} 1\nbmx_h_bucket{le=\"+Inf\"} 2\nbmx_h_sum 2\nbmx_h_count 2\n", // le out of order
+		"# TYPE bmx_c counter\nbmx_c notanumber\n",
+		"# TYPE bmx_c counter\n0bad_name 1\n",
+	}
+	for i, text := range bad {
+		if _, err := ParsePromText(strings.NewReader(text)); err == nil {
+			t.Fatalf("case %d parsed without error:\n%s", i, text)
+		}
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	if got := promName("dsm.acquire.w.app"); got != "bmx_dsm_acquire_w_app" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("weird-name/1"); got != "bmx_weird_name_1" {
+		t.Fatalf("promName = %q", got)
+	}
+}
