@@ -31,11 +31,14 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
 
-# Representative workload run with the time-series sampler on; emits the
-# machine-readable benchmark summary (quantile trajectories, msgs/op, GC
-# copy and scan volume) that CI uploads as an artifact.
+# Representative workload runs with the time-series sampler on; emit the
+# machine-readable benchmark summaries (quantile trajectories, msgs/op, GC
+# copy and scan volume) that CI uploads as artifacts and A/B-diffs with
+# `bmxstat -bench`. BENCH_5 is the same workload collected by the parallel
+# GC worker pool.
 bench-json:
-	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bench-json BENCH_4.json
+	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -bench-json BENCH_4.json
+	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -gc-workers 4 -bench-json BENCH_5.json
 
 experiments:
 	$(GO) run ./cmd/bmxbench

@@ -26,20 +26,22 @@ import (
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 3, "cluster size")
-		objects  = flag.Int("objects", 100, "objects in the workload graph")
-		rounds   = flag.Int("rounds", 10, "mutate/collect rounds")
-		workload = flag.String("workload", "list", "graph shape: list, tree, web or oo7")
-		protocol = flag.String("protocol", "entry", "consistency protocol: entry or strict")
-		grain    = flag.String("grain", "object", "token granularity: object or segment")
-		churn    = flag.Float64("churn", 0.2, "fraction of links cut per churn step")
-		loss     = flag.Float64("loss", 0, "background message loss rate")
-		gcEvery  = flag.Int("gc-every", 2, "run BGCs every N rounds")
-		ggcEvery = flag.Int("ggc-every", 5, "run the group collector every N rounds")
-		reclaim  = flag.Bool("reclaim", true, "run the from-space reuse protocol after GCs")
-		seed     = flag.Int64("seed", 1, "workload and loss seed")
-		workers  = flag.Int("workers", 1, "parallel mutator goroutines (>1 switches to the concurrent disjoint-bunch workload)")
-		verbose  = flag.Bool("v", false, "print per-round progress")
+		nodes     = flag.Int("nodes", 3, "cluster size")
+		objects   = flag.Int("objects", 100, "objects in the workload graph")
+		rounds    = flag.Int("rounds", 10, "mutate/collect rounds")
+		workload  = flag.String("workload", "list", "graph shape: list, tree, web or oo7")
+		bunchN    = flag.Int("bunches", 1, "shard the workload graph across this many bunches (gives -gc-workers independent bunches to collect in parallel)")
+		protocol  = flag.String("protocol", "entry", "consistency protocol: entry or strict")
+		grain     = flag.String("grain", "object", "token granularity: object or segment")
+		churn     = flag.Float64("churn", 0.2, "fraction of links cut per churn step")
+		loss      = flag.Float64("loss", 0, "background message loss rate")
+		gcEvery   = flag.Int("gc-every", 2, "run BGCs every N rounds")
+		gcWorkers = flag.Int("gc-workers", 1, "parallel GC worker pool per node: collect every mapped bunch with this many workers (>1 releases the node lock around trace/copy/fixup)")
+		ggcEvery  = flag.Int("ggc-every", 5, "run the group collector every N rounds")
+		reclaim   = flag.Bool("reclaim", true, "run the from-space reuse protocol after GCs")
+		seed      = flag.Int64("seed", 1, "workload and loss seed")
+		workers   = flag.Int("workers", 1, "parallel mutator goroutines (>1 switches to the concurrent disjoint-bunch workload)")
+		verbose   = flag.Bool("v", false, "print per-round progress")
 
 		traceOn   = flag.Bool("trace", false, "enable the flight recorder; dump its retained event window and histograms at exit")
 		traceJSON = flag.Bool("trace-json", false, "like -trace, but dump events as newline-delimited JSON")
@@ -112,47 +114,43 @@ func main() {
 	intr.start(cl)
 	if *workers > 1 {
 		runParallel(cl, *workers, *objects, *rounds, *gcEvery, *verbose)
-		dumpStats(cl, *statsJSON)
+		dumpStats(cl, *statsJSON, nil)
 		dumpTrace(cl.Observer(), *traceOn, *traceJSON)
 		intr.finish(cl)
 		return
 	}
 	n0 := cl.Node(0)
-	b := n0.NewBunch()
-
-	var g trace.Graph
-	var err error
 	switch *workload {
-	case "list":
-		g, err = trace.BuildList(n0, b, *objects)
-	case "tree":
-		depth := 1
-		for (1<<(depth+1))-1 < *objects {
-			depth++
-		}
-		g, err = trace.BuildTree(n0, b, depth)
-	case "web":
-		g, err = trace.BuildWeb(n0, b, trace.WebConfig{
-			Objects: *objects, OutDegree: 3, Seed: *seed, DeadFrac: 0,
-		})
-	case "oo7":
-		cfg := trace.DefaultOO7()
-		cfg.Seed = *seed
-		for cfg.TotalObjects() < *objects {
-			cfg.Modules++
-		}
-		var db *trace.OO7
-		db, err = trace.BuildOO7(n0, b, cfg)
-		if err == nil {
-			g = trace.Graph{Root: db.Root, Objects: db.Objects}
-		}
+	case "list", "tree", "web", "oo7":
 	default:
 		fmt.Fprintf(os.Stderr, "bmxd: unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bmxd:", err)
-		os.Exit(1)
+	if *bunchN < 1 {
+		*bunchN = 1
+	}
+	// Shard the graph across -bunches independent bunches: each shard is a
+	// self-contained instance of the workload shape, so the per-bunch
+	// collections have no cross-shard SSPs and -gc-workers has genuinely
+	// independent work to hand out.
+	perShard := *objects / *bunchN
+	if perShard < 1 {
+		perShard = 1
+	}
+	var bunches []bmx.BunchID
+	var g trace.Graph
+	for s := 0; s < *bunchN; s++ {
+		b := n0.NewBunch()
+		bunches = append(bunches, b)
+		sg, err := buildGraph(*workload, n0, b, perShard, *seed+int64(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+		if s == 0 {
+			g.Root = sg.Root
+		}
+		g.Objects = append(g.Objects, sg.Objects...)
 	}
 
 	var others []*bmx.Node
@@ -165,6 +163,7 @@ func main() {
 	}
 
 	totalDead := 0
+	var gcTotal bmx.CollectStats
 	for r := 1; r <= *rounds; r++ {
 		// Mutations from a rotating node.
 		mutator := cl.Node(r % *nodes)
@@ -178,8 +177,15 @@ func main() {
 		}
 		if *gcEvery > 0 && r%*gcEvery == 0 {
 			for i := 0; i < *nodes; i++ {
-				st := cl.Node(i).CollectBunch(b)
+				node := cl.Node(i)
+				var st bmx.CollectStats
+				if *gcWorkers > 1 || len(bunches) > 1 {
+					st = node.CollectBunches(node.Collector().MappedBunches(), *gcWorkers)
+				} else {
+					st = node.CollectBunch(bunches[0])
+				}
 				totalDead += st.Dead
+				gcTotal.Merge(st)
 				if *verbose {
 					fmt.Printf("round %d: BGC at N%d: live %d, dead %d, copied %d, pause %d ticks\n",
 						r, i+1, st.LiveStrong+st.LiveWeak, st.Dead, st.Copied,
@@ -187,12 +193,15 @@ func main() {
 				}
 			}
 			if *reclaim {
-				cl.Node(0).ReclaimFromSpace(b)
+				for _, rb := range bunches {
+					cl.Node(0).ReclaimFromSpace(rb)
+				}
 			}
 		}
 		if *ggcEvery > 0 && r%*ggcEvery == 0 {
 			st := cl.Node(0).CollectGroup(nil)
 			totalDead += st.Dead
+			gcTotal.Merge(st)
 			if *verbose {
 				fmt.Printf("round %d: GGC at N1: %d bunches, dead %d\n", r, st.Bunches, st.Dead)
 			}
@@ -217,8 +226,19 @@ func main() {
 	fmt.Printf("GC messages (tables etc.)         : %d\n", st.Get("msg.sent.gc"))
 	fmt.Printf("GC bytes piggybacked on app msgs  : %d\n", st.Get("bytes.piggyback"))
 	fmt.Printf("background messages lost          : %d\n", st.Get("msg.lost"))
+	// Aggregate CPU (sum of per-bunch cost-model work, deterministic) vs
+	// wall time (real elapsed; pool runs report the overall elapsed, not
+	// the per-bunch sum) — their ratio is the point of -gc-workers. Wall
+	// time is printed only in pool mode: serial runs must stay
+	// byte-for-byte identical across same-seed invocations.
+	if *gcWorkers > 1 {
+		fmt.Printf("GC work: %d cpu ticks in %s wall  (-gc-workers %d)\n",
+			gcTotal.CPUTicks, time.Duration(gcTotal.WallNS).Round(time.Microsecond), *gcWorkers)
+	} else {
+		fmt.Printf("GC work: %d cpu ticks\n", gcTotal.CPUTicks)
+	}
 	fmt.Println()
-	dumpStats(cl, *statsJSON)
+	dumpStats(cl, *statsJSON, &gcTotal)
 	dumpTrace(cl.Observer(), *traceOn, *traceJSON)
 
 	if st.Get("dsm.acquire.r.gc")+st.Get("dsm.acquire.w.gc") != 0 ||
@@ -227,6 +247,37 @@ func main() {
 		os.Exit(1)
 	}
 	intr.finish(cl)
+}
+
+// buildGraph builds one workload shard of roughly `objects` objects in
+// bunch b at node nd.
+func buildGraph(workload string, nd *bmx.Node, b bmx.BunchID, objects int, seed int64) (trace.Graph, error) {
+	switch workload {
+	case "list":
+		return trace.BuildList(nd, b, objects)
+	case "tree":
+		depth := 1
+		for (1<<(depth+1))-1 < objects {
+			depth++
+		}
+		return trace.BuildTree(nd, b, depth)
+	case "web":
+		return trace.BuildWeb(nd, b, trace.WebConfig{
+			Objects: objects, OutDegree: 3, Seed: seed, DeadFrac: 0,
+		})
+	case "oo7":
+		cfg := trace.DefaultOO7()
+		cfg.Seed = seed
+		for cfg.TotalObjects() < objects {
+			cfg.Modules++
+		}
+		db, err := trace.BuildOO7(nd, b, cfg)
+		if err != nil {
+			return trace.Graph{}, err
+		}
+		return trace.Graph{Root: db.Root, Objects: db.Objects}, nil
+	}
+	return trace.Graph{}, fmt.Errorf("unknown workload %q", workload)
 }
 
 // introspection bundles the live-readout flags: the HTTP server, the
@@ -345,7 +396,7 @@ func runChaos(o chaosOpts) {
 		rep.Stats["msg.dup"], rep.Stats["msg.delayed"], rep.Stats["msg.partitioned"], rep.Stats["msg.lost"])
 	fmt.Printf("simulated ticks: %d\n", rep.ClockTicks)
 	if o.statsJSON {
-		statsToJSON(os.Stdout, rep.Stats, nil)
+		statsToJSON(os.Stdout, rep.Stats, nil, nil)
 	}
 	if o.trace {
 		dumpEvents(rep.Events, o.traceJSON)
@@ -365,7 +416,7 @@ func runChaos(o chaosOpts) {
 // -stats-json — as one JSON object holding the sorted counters plus a
 // snapshot of every histogram (buckets and quantiles), so one file captures
 // the whole run.
-func dumpStats(cl *bmx.Cluster, asJSON bool) {
+func dumpStats(cl *bmx.Cluster, asJSON bool, gc *bmx.CollectStats) {
 	st := cl.Stats()
 	if asJSON {
 		var hists []obs.HistSummary
@@ -374,23 +425,35 @@ func dumpStats(cl *bmx.Cluster, asJSON bool) {
 				hists = append(hists, s)
 			}
 		}
-		statsToJSON(os.Stdout, st.Snapshot(), hists)
+		statsToJSON(os.Stdout, st.Snapshot(), hists, gc)
 		return
 	}
 	fmt.Println("-- full counters --")
 	fmt.Print(st.String())
 }
 
-// statsJSONDoc is the -stats-json document shape.
+// statsJSONDoc is the -stats-json document shape. The gc block carries the
+// merged CollectStats of every collection the driver ran — wall time lives
+// here rather than in the counters, which must stay deterministic.
 type statsJSONDoc struct {
 	Counters   map[string]int64  `json:"counters"`
 	Histograms []obs.HistSummary `json:"histograms,omitempty"`
+	GC         *gcJSON           `json:"gc,omitempty"`
 }
 
-func statsToJSON(w *os.File, snap map[string]int64, hists []obs.HistSummary) {
+type gcJSON struct {
+	CPUTicks uint64 `json:"cpuTicks"`
+	WallNS   int64  `json:"wallNS"`
+}
+
+func statsToJSON(w *os.File, snap map[string]int64, hists []obs.HistSummary, gc *bmx.CollectStats) {
+	doc := statsJSONDoc{Counters: snap, Histograms: hists}
+	if gc != nil {
+		doc.GC = &gcJSON{CPUTicks: gc.CPUTicks, WallNS: gc.WallNS}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(statsJSONDoc{Counters: snap, Histograms: hists}); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "bmxd:", err)
 		os.Exit(1)
 	}

@@ -47,13 +47,14 @@ func main() {
 	var (
 		tracePath  = flag.String("trace", "", "event NDJSON to analyze (a bmxd -trace-json capture or an /events download; - for stdin)")
 		seriesPath = flag.String("series", "", "time-series NDJSON to analyze (a bmxd -series-json file or a /series download; - for stdin)")
-		diffPath   = flag.String("diff", "", "second time-series NDJSON; prints an A/B comparison against -series")
+		benchPath  = flag.String("bench", "", "benchmark summary JSON to analyze (a bmxd -bench-json artifact; - for stdin)")
+		diffPath   = flag.String("diff", "", "second run to compare against -series (time-series NDJSON) or -bench (summary JSON); prints an A/B comparison")
 		oidFlag    = flag.String("oid", "", "print the biography of this object (accepts 36 or O36)")
 		topN       = flag.Int("top", 10, "how many hot objects the overview lists")
 		asJSON     = flag.Bool("json", false, "machine-readable output")
 	)
 	flag.Parse()
-	if *tracePath == "" && *seriesPath == "" {
+	if *tracePath == "" && *seriesPath == "" && *benchPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -92,9 +93,20 @@ func main() {
 			fail(err)
 		}
 		printBiography(evs, oid, *asJSON)
+	case *benchPath != "":
+		a := readBench(*benchPath)
+		if *diffPath != "" {
+			printDiff(a, readBench(*diffPath), *benchPath, *diffPath, *asJSON)
+			return
+		}
+		if *asJSON {
+			emitJSON(a)
+			return
+		}
+		printBench(a)
 	case *diffPath != "":
 		if samples == nil {
-			fail(fmt.Errorf("-diff needs -series"))
+			fail(fmt.Errorf("-diff needs -series or -bench"))
 		}
 		r := open(*diffPath)
 		other, err := obs.ReadSamplesNDJSON(r)
@@ -289,6 +301,18 @@ func printDiff(a, b obs.BenchSummary, aName, bName string, asJSON bool) {
 		fmt.Printf("%-24s p50 %d|%d  p95 %d|%d  p99 %d|%d  max %d|%d\n",
 			k, fa.P50, fb.P50, fa.P95, fb.P95, fa.P99, fb.P99, fa.Max, fb.Max)
 	}
+}
+
+// readBench parses a benchmark summary JSON file (the bmxd -bench-json
+// artifact CI uploads).
+func readBench(path string) obs.BenchSummary {
+	r := open(path)
+	defer r.Close()
+	var b obs.BenchSummary
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		fail(fmt.Errorf("%s: %v", path, err))
+	}
+	return b
 }
 
 func emitJSON(v any) {

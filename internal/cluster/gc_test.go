@@ -499,3 +499,60 @@ func TestUnmapBunch(t *testing.T) {
 		t.Fatal("directory still lists dropped replica")
 	}
 }
+
+// TestCoMappedCrossNodeCycle reproduces examples/migration: a dead 2-cycle
+// x(B1@N1) <-> y(B2@N2), both edges created at N1 (so both stubs live at N1),
+// must survive independent BGCs but die once both bunches are co-mapped at N1
+// and the group collector runs at both sites.
+func TestCoMappedCrossNodeCycle(t *testing.T) {
+	cl := New(Config{Nodes: 2, SegWords: 512, Seed: 1})
+	n1, n2 := cl.Node(0), cl.Node(1)
+	b1 := n1.NewBunch()
+	b2 := n2.NewBunch()
+	x := n1.MustAlloc(b1, 1)
+	y := n2.MustAlloc(b2, 1)
+	control := n1.MustAlloc(b1, 1)
+	n1.AddRoot(control)
+	if err := n1.AcquireWrite(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.WriteRef(x, 0, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.WriteRef(y, 0, x); err != nil {
+		t.Fatal(err)
+	}
+
+	// Independent BGCs must conservatively keep the cycle.
+	for round := 0; round < 4; round++ {
+		n1.CollectBunch(b1)
+		n2.CollectBunch(b2)
+		cl.Run(0)
+	}
+	has := func(n *Node, r Ref) bool {
+		_, ok := n.Collector().Heap().Canonical(r.OID)
+		return ok
+	}
+	if !has(n1, x) || !has(n2, y) {
+		t.Fatal("cycle reclaimed by independent BGCs (must be conservative)")
+	}
+
+	// Co-map and group-collect: the cycle is group-internal at N1 now.
+	if err := n1.MapBunch(b2); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		n1.CollectGroup(nil)
+		n2.CollectGroup(nil)
+		cl.Run(0)
+	}
+	if has(n1, x) || has(n1, y) {
+		t.Fatalf("group-internal cycle still present at N1: x=%v y=%v", has(n1, x), has(n1, y))
+	}
+	if has(n2, x) || has(n2, y) {
+		t.Fatalf("cycle still present at N2: x=%v y=%v", has(n2, x), has(n2, y))
+	}
+	if !has(n1, control) {
+		t.Fatal("control object lost")
+	}
+}

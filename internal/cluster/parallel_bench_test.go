@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"bmx/internal/addr"
+)
+
+// BenchmarkParallelGC sweeps the worker pool over a fixed population:
+// workers {1, 2, 4, 8} x bunches {4, 16}, each bunch holding 48 rooted
+// objects of 16 words. The workers=1 rows are the serial baseline (the
+// pool degrades to the classic loop, node lock held throughout); higher
+// worker counts release the node lock around trace/copy/fixup and overlap
+// bunch collections on separate goroutines.
+//
+// Wall-clock speedup requires real cores: on a single-CPU machine
+// (GOMAXPROCS=1) the goroutines interleave and the rows measure pool
+// overhead, not parallelism. The per-run CollectStats expose the
+// machine-independent signal either way — sum-of-CPUTicks / WallNS is the
+// achieved parallelism, and `make bench-json` captures the same workload
+// end-to-end in BENCH_4.json (serial) vs BENCH_5.json (4 workers).
+func BenchmarkParallelGC(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, nBunches := range []int{4, 16} {
+			b.Run(fmt.Sprintf("workers=%d/bunches=%d", workers, nBunches), func(b *testing.B) {
+				cl := New(Config{Nodes: 1})
+				n := cl.Node(0)
+				var bunches []addr.BunchID
+				for i := 0; i < nBunches; i++ {
+					bu := n.NewBunch()
+					bunches = append(bunches, bu)
+					var prev Ref
+					for j := 0; j < 48; j++ {
+						r := n.MustAlloc(bu, 16)
+						if j%8 == 0 {
+							n.AddRoot(r)
+						} else if err := linkBench(n, prev, r); err != nil {
+							b.Fatalf("link: %v", err)
+						}
+						prev = r
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st := n.CollectBunches(bunches, workers)
+					if st.Bunches != nBunches {
+						b.Fatalf("collected %d bunches, want %d", st.Bunches, nBunches)
+					}
+				}
+				b.StopTimer()
+				cl.Run(0)
+			})
+		}
+	}
+}
+
+func linkBench(n *Node, from, to Ref) error {
+	if err := n.AcquireWrite(from); err != nil {
+		return err
+	}
+	defer n.Release(from)
+	return n.WriteRef(from, 0, to)
+}

@@ -60,7 +60,7 @@ func (c *Collector) ApplyTable(msg ssp.TableMsg) {
 	// Inter-bunch scions live in the tables of the *target* bunches, which
 	// can be any bunch mapped here.
 	for _, b := range c.MappedBunches() {
-		t := c.reps[b].Table
+		t := c.Replica(b).Table
 		for key, sc := range t.InterScions {
 			if sc.SrcNode == msg.From && sc.SrcBunch == msg.Bunch &&
 				sc.CreatedGen <= msg.Gen && !presentInter[key] {
@@ -72,7 +72,8 @@ func (c *Collector) ApplyTable(msg ssp.TableMsg) {
 	}
 
 	// Intra-bunch scions live in the table of the bunch itself.
-	if rep, ok := c.reps[msg.Bunch]; ok {
+	if c.HasReplica(msg.Bunch) {
+		rep := c.Replica(msg.Bunch)
 		for key, sc := range rep.Table.IntraScions {
 			if debugCleaner && sc.NewOwner == msg.From {
 				fmt.Printf("CLEANDBG node %v: intra scion %v createdGen=%d msg.Gen=%d present=%v\n",
@@ -105,9 +106,14 @@ func (c *Collector) ApplyTable(msg ssp.TableMsg) {
 			c.stats().Add("core.cleaner.enteringRemoved", 1)
 		}
 	}
+	deriv := make(map[addr.OID]bool, len(msg.Derivative))
+	for _, o := range msg.Derivative {
+		deriv[o] = true
+	}
 	for _, o := range msg.Exiting {
 		if _, ok := c.heap.Canonical(o); ok || c.dsm.Knows(o) {
 			c.dsm.AddEntering(o, msg.From, msg.Gen)
+			c.dsm.SetEnteringDerivative(o, msg.From, deriv[o])
 		} else {
 			// The sender routes through an object this node no longer
 			// holds; its next acquire will re-learn a route through the

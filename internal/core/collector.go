@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
@@ -27,6 +28,12 @@ func DefaultCosts() Costs {
 	return Costs{RootTick: 1, ScanWordTick: 1, CopyWordTick: 2, LogTick: 2}
 }
 
+// objStripes is the number of per-object lock stripes in a Collector. The
+// stripes serialize address-level operations on one object — a mutator's
+// field store against a parallel GC worker copying the same object — without
+// any global lock. See LockObject for the ordering rules.
+const objStripes = 64
+
 // Replica is one node's GC state for one mapped bunch: the stub/scion
 // table, the table generation counter and the local allocation segments.
 type Replica struct {
@@ -37,6 +44,10 @@ type Replica struct {
 	// Gen+1 (the first table that will account for them).
 	Gen uint64
 
+	// segMu guards allocSeg and ownSegs: allocation-segment refills happen
+	// both under the node lock (mutator Alloc) and from a parallel GC
+	// worker's unlocked copy phase.
+	segMu    sync.Mutex
 	allocSeg *mem.Segment // current local allocation target (to-space)
 	// ownSegs are the segments this node created for the bunch; only the
 	// creator allocates into a segment, so only the creator may schedule
@@ -62,6 +73,11 @@ func newReplica(b addr.BunchID) *Replica {
 // protocol: the protocol calls out to the collector to carry piggybacked GC
 // information; the collector never acquires, releases, or invalidates a
 // token.
+//
+// Lock order (outermost first): cluster object lock → node lock → object
+// stripe (LockObject) → copyMu | Replica.segMu | locMu | repsMu → heap and
+// directory locks. A stripe holder never takes the node lock, and GC workers
+// never hold the node lock across synchronous network calls.
 type Collector struct {
 	node  addr.NodeID
 	heap  *mem.Heap
@@ -70,13 +86,34 @@ type Collector struct {
 	costs Costs
 	dsm   *dsm.Node
 
-	reps    map[addr.BunchID]*Replica
+	// repsMu guards the reps map structure and the MappedBunches cache;
+	// the contents of each Replica follow their own discipline (table,
+	// generation, write log and gcActive under the node lock; allocation
+	// segments under segMu).
+	repsMu      sync.RWMutex
+	reps        map[addr.BunchID]*Replica
+	mappedCache []addr.BunchID
+
 	roots   map[addr.OID]int    // mutator root handles (stack refs), with counts
 	recvGen map[tableKey]uint64 // scion cleaner: highest table gen per (sender, bunch)
 	// replicateSSPs switches invariant 3 to the A1 ablation: replicate
 	// inter-bunch SSPs on ownership transfer instead of creating
 	// intra-bunch SSPs (§3.2 discusses and rejects this alternative).
 	replicateSSPs bool
+
+	// objMu is the per-object stripe array; see LockObject.
+	objMu [objStripes]sync.Mutex
+	// copyMu guards copyOwned: the objects a running collection has
+	// licensed for copying outside the node lock. An ownership grant
+	// revokes the license (under the object's stripe) before the token
+	// leaves, so an unlocked GC worker can never copy an object this node
+	// no longer owns.
+	copyMu    sync.Mutex
+	copyOwned map[addr.OID]bool
+
+	// locMu guards pending and locEpoch, which are shared between GC
+	// workers, the piggyback path and background flushes.
+	locMu sync.Mutex
 	// pending holds location updates queued per peer, awaiting a
 	// consistency message to ride on, or a background flush (§4.4).
 	pending map[addr.NodeID]map[addr.OID]dsm.Manifest
@@ -85,29 +122,39 @@ type Collector struct {
 	locEpoch map[addr.OID]uint64
 
 	// Flight-recorder plumbing, cached from the transport's observer.
-	rec      *obs.Recorder
-	copyHist *obs.Histogram // words moved per evacuated object
-	scanHist *obs.Histogram // objects scanned per collection
+	rec        *obs.Recorder
+	copyHist   *obs.Histogram // words moved per evacuated object
+	scanHist   *obs.Histogram // objects scanned per collection
+	phaseHists map[string]*obs.Histogram
 }
+
+// gcPhases names the per-phase simulated-tick histograms a collection feeds.
+var gcPhases = []string{"roots", "trace", "copy", "fixup", "flip", "reclaim", "tables"}
 
 // NewCollector creates node's collector. SetDSM must be called before any
 // collection or hook activity.
 func NewCollector(node addr.NodeID, heap *mem.Heap, dir *Directory, net transport.Transport, costs Costs) *Collector {
 	o := net.Stats().Observer()
+	phases := make(map[string]*obs.Histogram, len(gcPhases))
+	for _, p := range gcPhases {
+		phases[p] = o.Hist("gc.phase." + p + ".ticks")
+	}
 	return &Collector{
-		node:     node,
-		heap:     heap,
-		dir:      dir,
-		net:      net,
-		costs:    costs,
-		reps:     make(map[addr.BunchID]*Replica),
-		roots:    make(map[addr.OID]int),
-		recvGen:  make(map[tableKey]uint64),
-		pending:  make(map[addr.NodeID]map[addr.OID]dsm.Manifest),
-		locEpoch: make(map[addr.OID]uint64),
-		rec:      o.Recorder(node),
-		copyHist: o.Hist("gc.copy.words"),
-		scanHist: o.Hist("gc.scan.objects"),
+		node:       node,
+		heap:       heap,
+		dir:        dir,
+		net:        net,
+		costs:      costs,
+		reps:       make(map[addr.BunchID]*Replica),
+		roots:      make(map[addr.OID]int),
+		recvGen:    make(map[tableKey]uint64),
+		copyOwned:  make(map[addr.OID]bool),
+		pending:    make(map[addr.NodeID]map[addr.OID]dsm.Manifest),
+		locEpoch:   make(map[addr.OID]uint64),
+		rec:        o.Recorder(node),
+		copyHist:   o.Hist("gc.copy.words"),
+		scanHist:   o.Hist("gc.scan.objects"),
+		phaseHists: phases,
 	}
 }
 
@@ -132,31 +179,70 @@ func (c *Collector) DSM() *dsm.Node { return c.dsm }
 
 func (c *Collector) stats() *transport.Stats { return c.net.Stats() }
 
+// lockObj returns the stripe mutex covering o.
+func (c *Collector) lockObj(o addr.OID) *sync.Mutex {
+	return &c.objMu[uint64(o)%objStripes]
+}
+
+// LockObject takes the address-level stripe of o and returns its unlock
+// function. The stripe makes one object's resolve-and-store (mutator) or
+// read-copy-forward (collector) sequence atomic against the other. Callers
+// may hold the node lock; a stripe holder must never take the node lock,
+// issue a synchronous network call, or take a second stripe.
+func (c *Collector) LockObject(o addr.OID) func() {
+	mu := c.lockObj(o)
+	mu.Lock()
+	return mu.Unlock
+}
+
 // Replica returns the GC state for bunch b, creating it on first use.
 func (c *Collector) Replica(b addr.BunchID) *Replica {
+	c.repsMu.RLock()
 	rep, ok := c.reps[b]
-	if !ok {
-		rep = newReplica(b)
-		c.reps[b] = rep
+	c.repsMu.RUnlock()
+	if ok {
+		return rep
 	}
+	c.repsMu.Lock()
+	defer c.repsMu.Unlock()
+	if rep, ok = c.reps[b]; ok {
+		return rep
+	}
+	rep = newReplica(b)
+	c.reps[b] = rep
+	c.mappedCache = nil
 	return rep
 }
 
 // HasReplica reports whether this node tracks bunch b.
 func (c *Collector) HasReplica(b addr.BunchID) bool {
+	c.repsMu.RLock()
+	defer c.repsMu.RUnlock()
 	_, ok := c.reps[b]
 	return ok
 }
 
 // MappedBunches returns the bunches with a local replica, sorted — the
-// locality-based group of §7.
+// locality-based group of §7. The slice is cached until the next replica is
+// created; callers must not mutate it.
 func (c *Collector) MappedBunches() []addr.BunchID {
-	out := make([]addr.BunchID, 0, len(c.reps))
-	for b := range c.reps {
-		out = append(out, b)
+	c.repsMu.RLock()
+	cached := c.mappedCache
+	c.repsMu.RUnlock()
+	if cached != nil {
+		return cached
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	c.repsMu.Lock()
+	defer c.repsMu.Unlock()
+	if c.mappedCache == nil {
+		out := make([]addr.BunchID, 0, len(c.reps))
+		for b := range c.reps {
+			out = append(out, b)
+		}
+		slices.Sort(out)
+		c.mappedCache = out
+	}
+	return c.mappedCache
 }
 
 // ---- Roots -----------------------------------------------------------------
@@ -180,7 +266,7 @@ func (c *Collector) RootOIDs() []addr.OID {
 	for o := range c.roots {
 		out = append(out, o)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -200,11 +286,14 @@ func (c *Collector) Alloc(b addr.BunchID, size int) (addr.OID, error) {
 		return addr.NilOID, fmt.Errorf("core: object of %d words exceeds segment capacity %d", size, max)
 	}
 	rep := c.Replica(b)
+	rep.segMu.Lock()
 	if rep.allocSeg == nil || rep.allocSeg.FreeWords() < mem.HeaderWords+size {
 		rep.allocSeg = c.newAllocSeg(b)
 	}
+	seg := rep.allocSeg
+	rep.segMu.Unlock()
 	oid := c.dir.NewOID()
-	a, ok := c.heap.Alloc(rep.allocSeg, oid, size)
+	a, ok := c.heap.Alloc(seg, oid, size)
 	if !ok {
 		return addr.NilOID, fmt.Errorf("core: allocation of %d words failed in fresh segment", size)
 	}
@@ -375,7 +464,10 @@ func (c *Collector) scionHosts(tb addr.BunchID) []addr.NodeID {
 // writes during the collection are replayed at the flip).
 func (c *Collector) NoteWrite(o addr.OID) {
 	b := c.dir.BunchOf(o)
-	if rep, ok := c.reps[b]; ok && rep.gcActive {
+	c.repsMu.RLock()
+	rep, ok := c.reps[b]
+	c.repsMu.RUnlock()
+	if ok && rep.gcActive {
 		rep.writeLog[o] = true
 	}
 }
@@ -385,8 +477,11 @@ func (c *Collector) NoteWrite(o addr.OID) {
 // queueLocation records that o now lives at newAddr, to be told to every
 // other node holding a replica of the bunch — lazily, by piggybacking.
 func (c *Collector) queueLocation(o addr.OID, b addr.BunchID, newAddr addr.Addr, size int) {
+	holders := c.dir.Holders(b)
+	c.locMu.Lock()
+	defer c.locMu.Unlock()
 	man := dsm.Manifest{OID: o, Addr: newAddr, Size: size, Bunch: b, Epoch: c.locEpoch[o]}
-	for _, peer := range c.dir.Holders(b) {
+	for _, peer := range holders {
 		if peer == c.node {
 			continue
 		}
@@ -399,9 +494,19 @@ func (c *Collector) queueLocation(o addr.OID, b addr.BunchID, newAddr addr.Addr,
 	}
 }
 
+// LocationEpoch returns the relocation epoch this node has applied (or, at
+// the owner, produced) for o.
+func (c *Collector) LocationEpoch(o addr.OID) uint64 {
+	c.locMu.Lock()
+	defer c.locMu.Unlock()
+	return c.locEpoch[o]
+}
+
 // PendingLocationCount returns the number of queued (peer, object) location
 // updates awaiting piggyback or flush.
 func (c *Collector) PendingLocationCount() int {
+	c.locMu.Lock()
+	defer c.locMu.Unlock()
 	n := 0
 	for _, q := range c.pending {
 		n += len(q)
@@ -413,6 +518,12 @@ func (c *Collector) PendingLocationCount() int {
 // GC messages instead of waiting for consistency traffic to carry them.
 // Used by the from-space reuse protocol and by the eager-update ablation.
 func (c *Collector) FlushLocations() {
+	type flush struct {
+		peer addr.NodeID
+		ms   []dsm.Manifest
+	}
+	var flushes []flush
+	c.locMu.Lock()
 	for _, peer := range sortedNodeKeys(c.pending) {
 		q := c.pending[peer]
 		if len(q) == 0 {
@@ -420,13 +531,17 @@ func (c *Collector) FlushLocations() {
 		}
 		ms := manifestList(q)
 		delete(c.pending, peer)
+		flushes = append(flushes, flush{peer, ms})
+	}
+	c.locMu.Unlock()
+	for _, f := range flushes {
 		bytes := 0
-		for _, m := range ms {
+		for _, m := range f.ms {
 			bytes += m.WireBytes()
 		}
 		c.net.Send(transport.Msg{
-			From: c.node, To: peer, Kind: KindLocFlush, Class: transport.ClassGC,
-			Payload: LocFlushMsg{From: c.node, Manifests: ms}, Bytes: bytes,
+			From: c.node, To: f.peer, Kind: KindLocFlush, Class: transport.ClassGC,
+			Payload: LocFlushMsg{From: c.node, Manifests: f.ms}, Bytes: bytes,
 		})
 		c.stats().Add("core.locFlush.msgs", 1)
 	}
@@ -437,7 +552,7 @@ func sortedNodeKeys(m map[addr.NodeID]map[addr.OID]dsm.Manifest) []addr.NodeID {
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -446,6 +561,15 @@ func manifestList(q map[addr.OID]dsm.Manifest) []dsm.Manifest {
 	for _, m := range q {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	slices.SortFunc(out, func(a, b dsm.Manifest) int {
+		switch {
+		case a.OID < b.OID:
+			return -1
+		case a.OID > b.OID:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }

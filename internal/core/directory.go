@@ -20,7 +20,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"bmx/internal/addr"
@@ -131,7 +131,7 @@ func (d *Directory) Bunches() []addr.BunchID {
 	for b := range d.bunches {
 		out = append(out, b)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -165,7 +165,7 @@ func (d *Directory) Replicas(b addr.BunchID) []addr.NodeID {
 	for n := range bi.replicas {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -205,7 +205,7 @@ func (d *Directory) Holders(b addr.BunchID) []addr.NodeID {
 	for n := range set {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

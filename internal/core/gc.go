@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"time"
 
 	"bmx/internal/addr"
 	"bmx/internal/mem"
@@ -36,6 +37,10 @@ type CollectStats struct {
 	Dead       int
 	Copied     int
 	Scanned    int
+	// ScannedWords and CopiedWords are the word-granularity volumes behind
+	// Scanned and Copied (copied words include headers).
+	ScannedWords int
+	CopiedWords  int
 	// PauseRootTicks is the first flip pause (root snapshot); it scales
 	// with the number of roots, never the heap (§4.1: "the time to flip is
 	// very small and therefore not disruptive to applications").
@@ -46,6 +51,36 @@ type CollectStats struct {
 	// TotalTicks is the whole collection in simulated time, including the
 	// concurrent phases.
 	TotalTicks uint64
+	// CPUTicks is the aggregate collector work under the cost model —
+	// the sum over bunches of root, scan, copy and replay charges. Unlike
+	// TotalTicks (which reads the global simulated clock and therefore
+	// absorbs every concurrent worker's advances), CPUTicks is computed
+	// from this collection's own volumes, so parallel runs report the work
+	// done, not the wall it was done in.
+	CPUTicks uint64
+	// WallNS is real elapsed time in nanoseconds. The simulated clock
+	// cannot show parallel speedup (every worker advances the one global
+	// counter); wall time can, on hardware with more than one core.
+	WallNS int64
+}
+
+// Merge folds another collection's statistics into st. It is the single
+// accumulation point used by the group driver and the parallel worker pool.
+func (st *CollectStats) Merge(o CollectStats) {
+	st.Bunches += o.Bunches
+	st.RootCount += o.RootCount
+	st.LiveStrong += o.LiveStrong
+	st.LiveWeak += o.LiveWeak
+	st.Dead += o.Dead
+	st.Copied += o.Copied
+	st.Scanned += o.Scanned
+	st.ScannedWords += o.ScannedWords
+	st.CopiedWords += o.CopiedWords
+	st.PauseRootTicks += o.PauseRootTicks
+	st.PauseFlipTicks += o.PauseFlipTicks
+	st.TotalTicks += o.TotalTicks
+	st.CPUTicks += o.CPUTicks
+	st.WallNS += o.WallNS
 }
 
 // CollectOpts tunes one collection run.
@@ -55,6 +90,28 @@ type CollectOpts struct {
 	// the collector (O'Toole-style). Writes it performs are logged and
 	// replayed at the flip.
 	DuringTrace func()
+
+	// Workers, when > 1 together with Locked, lets CollectBunchesParallel
+	// partition a set of bunches across a worker pool.
+	Workers int
+
+	// Locked, when set, brackets the phases that need the node-level lock
+	// (setup, root snapshot, protocol-state barrier, flip, reclaim and
+	// table rebuild); the trace, copy and fixup phases then run with the
+	// node lock released so mutators keep going. When nil the collection
+	// assumes the caller already holds whatever lock protects protocol
+	// state, and runs every phase inline — the serial drivers' behavior.
+	Locked func(fn func())
+}
+
+// locked brackets fn with the caller-provided node-level lock, or runs it
+// inline when the collection is serial (lock already held by the caller).
+func locked(opts CollectOpts, fn func()) {
+	if opts.Locked != nil {
+		opts.Locked(fn)
+	} else {
+		fn()
+	}
 }
 
 // CollectBunch runs the bunch garbage collector (§4) on this node's replica
@@ -81,6 +138,7 @@ func (c *Collector) CollectGroup(group []addr.BunchID) CollectStats {
 }
 
 func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool) CollectStats {
+	wall := time.Now()
 	total := transport.StartWatch(c.net.Clock())
 	var st CollectStats
 	st.Bunches = len(bunches)
@@ -88,77 +146,167 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 	if group {
 		gfl = obs.FlagGroup
 	}
-	c.rec.Emit(obs.Event{Kind: obs.KGCStart, Class: obs.ClassGC, Flags: gfl, A: int64(len(bunches))})
 	set := make(map[addr.BunchID]bool, len(bunches))
 	for _, b := range bunches {
 		set[b] = true
 	}
 
-	// Map every current segment of the collected bunches and snapshot the
-	// pre-collection segment lists: the copy phase evacuates these, and
-	// this node's own pre-collection allocation segments become from-space
-	// candidates for the §4.5 reuse protocol.
 	oldSegs := make(map[addr.SegID]bool)
 	fromCandidates := make(map[addr.BunchID][]addr.SegID)
-	for _, b := range bunches {
-		rep := c.Replica(b)
-		for _, meta := range c.dir.Segments(b) {
-			c.heap.MapSegment(meta)
-			oldSegs[meta.ID] = true
-		}
-		fromCandidates[b] = rep.ownSegs
-		rep.ownSegs = nil
-		rep.gcActive = true
-		rep.writeLog = make(map[addr.OID]bool)
-		// Fresh to-space: mutator allocations during the collection land
-		// there and survive this cycle unconditionally.
-		rep.allocSeg = c.newAllocSeg(b)
-	}
-
-	// ---- Flip pause 1: snapshot the roots (§4.1) -------------------------
-	pause1 := transport.StartWatch(c.net.Clock())
 	var strongRoots, weakRoots []addr.OID
-	for _, b := range bunches {
-		rep := c.reps[b]
-		for _, o := range c.RootOIDs() {
-			if c.dir.BunchOf(o) == b {
+	// plainStrong keeps the non-scion strong roots (mutator handles and
+	// entering ownerPtrs) and scionRootsBySrc the inter-scion roots per
+	// source node, for the derivative-exiting analysis after the trace.
+	var plainStrong []addr.OID
+	scionRootsBySrc := make(map[addr.NodeID][]addr.OID)
+
+	// ---- Locked: setup and flip pause 1 (root snapshot, §4.1) -----------
+	locked(opts, func() {
+		c.rec.Emit(obs.Event{Kind: obs.KGCStart, Class: obs.ClassGC, Flags: gfl, A: int64(len(bunches))})
+
+		// Map every current segment of the collected bunches and snapshot
+		// the pre-collection segment lists: the copy phase evacuates these,
+		// and this node's own pre-collection allocation segments become
+		// from-space candidates for the §4.5 reuse protocol.
+		for _, b := range bunches {
+			rep := c.Replica(b)
+			for _, meta := range c.dir.Segments(b) {
+				c.heap.MapSegment(meta)
+				oldSegs[meta.ID] = true
+			}
+			rep.segMu.Lock()
+			fromCandidates[b] = rep.ownSegs
+			rep.ownSegs = nil
+			// Fresh to-space: mutator allocations during the collection
+			// land there and survive this cycle unconditionally.
+			rep.allocSeg = c.newAllocSeg(b)
+			rep.segMu.Unlock()
+			rep.gcActive = true
+			rep.writeLog = make(map[addr.OID]bool)
+		}
+
+		pause1 := transport.StartWatch(c.net.Clock())
+		for _, b := range bunches {
+			rep := c.Replica(b)
+			for _, o := range c.RootOIDs() {
+				if c.dir.BunchOf(o) == b {
+					strongRoots = append(strongRoots, o)
+					plainStrong = append(plainStrong, o)
+				}
+			}
+			for _, sc := range rep.Table.InterScionList() {
+				// §7: scions of SSPs originating *at this site* within the
+				// collected group are not roots, so group-internal cycles
+				// are not artificially held over. Remotely held stubs keep
+				// their scions as roots: this site cannot decide for them.
+				if group && set[sc.SrcBunch] && sc.SrcNode == c.node {
+					continue
+				}
+				strongRoots = append(strongRoots, sc.TargetOID)
+				scionRootsBySrc[sc.SrcNode] = append(scionRootsBySrc[sc.SrcNode], sc.TargetOID)
+			}
+			for _, o := range c.dsm.EnteringRoots(b) {
+				if group && c.dsm.EnteringAllDerivative(o) && c.stubsAllInGroup(o, set) {
+					// Every remote replica routing through this node reported
+					// itself live only via scions that this site's own
+					// group-internal stubs sustain (§6.2 extended to
+					// inter-bunch SSPs). The entering entries are an echo of
+					// local liveness, not independent roots: if the trace
+					// reaches o anyway the stubs survive and nothing changes;
+					// if not, the stubs drop, the remote scions are cleaned,
+					// and the cross-site cycle unwinds.
+					c.stats().Add("core.gc.enteringDiscounted", 1)
+					continue
+				}
 				strongRoots = append(strongRoots, o)
+				plainStrong = append(plainStrong, o)
 			}
+			weakRoots = append(weakRoots, rep.Table.IntraScionRootOIDs()...)
 		}
-		for _, sc := range rep.Table.InterScionList() {
-			// §7: scions of SSPs originating *at this site* within the
-			// collected group are not roots, so group-internal cycles
-			// are not artificially held over. Remotely held stubs keep
-			// their scions as roots: this site cannot decide for them.
-			if group && set[sc.SrcBunch] && sc.SrcNode == c.node {
-				continue
-			}
-			strongRoots = append(strongRoots, sc.TargetOID)
-		}
-		strongRoots = append(strongRoots, c.dsm.EnteringRoots(b)...)
-		weakRoots = append(weakRoots, rep.Table.IntraScionRootOIDs()...)
-	}
-	st.RootCount = len(strongRoots) + len(weakRoots)
-	c.net.Clock().Advance(c.costs.RootTick * uint64(st.RootCount))
-	st.PauseRootTicks = pause1.Elapsed()
-	c.rec.Emit(obs.Event{Kind: obs.KGCRoots, Class: obs.ClassGC, Flags: gfl,
-		A: int64(st.RootCount), B: int64(st.PauseRootTicks)})
+		st.RootCount = len(strongRoots) + len(weakRoots)
+		c.net.Clock().Advance(c.costs.RootTick * uint64(st.RootCount))
+		st.PauseRootTicks = pause1.Elapsed()
+		c.phaseHists["roots"].Observe(int64(st.PauseRootTicks))
+		c.rec.Emit(obs.Event{Kind: obs.KGCRoots, Class: obs.ClassGC, Flags: gfl,
+			A: int64(st.RootCount), B: int64(st.PauseRootTicks)})
+	})
 
 	// ---- Concurrent phase: the mutator may run now ----------------------
 	if opts.DuringTrace != nil {
 		opts.DuringTrace()
 	}
 
-	// ---- Trace ----------------------------------------------------------
+	// ---- Trace (unlocked: scans through internally locked heap state) ---
+	traceWatch := transport.StartWatch(c.net.Clock())
 	live := make(map[addr.OID]int)
-	st.Scanned += c.trace(set, strongRoots, strongLive, live)
-	st.Scanned += c.trace(set, weakRoots, weakLive, live)
+	n, w := c.trace(set, strongRoots, strongLive, live)
+	st.Scanned += n
+	st.ScannedWords += w
+	n, w = c.trace(set, weakRoots, weakLive, live)
+	st.Scanned += n
+	st.ScannedWords += w
 	c.scanHist.Observe(int64(st.Scanned))
+	c.phaseHists["trace"].Observe(int64(traceWatch.Elapsed()))
 	c.rec.Emit(obs.Event{Kind: obs.KGCTrace, Class: obs.ClassGC, Flags: gfl, A: int64(st.Scanned)})
 
+	// ---- Locked barrier: snapshot per-object protocol state -------------
+	// The unlocked phases below must not touch the dsm maps (mutators
+	// mutate them under the node lock), so ownership and ownerPtr edges of
+	// every live object are snapshotted here. A later ownership transfer is
+	// handled by the copy license (copyOwned): PrepareOwnershipTransfer
+	// revokes it under the object's stripe before the token leaves.
+	ownedSnap := make(map[addr.OID]bool, len(live))
+	ownerPtrSnap := make(map[addr.OID]addr.NodeID, len(live))
+	locked(opts, func() {
+		for o, s := range live {
+			if s == notLive {
+				continue
+			}
+			ownedSnap[o] = c.dsm.IsOwner(o)
+			ownerPtrSnap[o] = c.dsm.OwnerPtrOf(o)
+		}
+		c.copyMu.Lock()
+		for o := range ownedSnap {
+			if ownedSnap[o] {
+				c.copyOwned[o] = true
+			}
+		}
+		c.copyMu.Unlock()
+	})
+
+	// Derivative-exiting analysis (§6.2 extended): for each remote node X
+	// whose scions contributed roots, re-trace without them; a strongly
+	// live object unreachable without X's scions, whose ownerPtr points at
+	// X, is held live here solely on X's own behalf. Its exiting entry is
+	// flagged so X's group collector can discount the echo.
+	derivative := make(map[addr.OID]bool)
+	for x := range scionRootsBySrc {
+		if x == c.node {
+			continue // a local ownerPtr target never routes through itself
+		}
+		aux := make(map[addr.OID]int)
+		auxRoots := append([]addr.OID(nil), plainStrong...)
+		for ox, sc := range scionRootsBySrc {
+			if ox != x {
+				auxRoots = append(auxRoots, sc...)
+			}
+		}
+		c.traceQuiet(set, auxRoots, strongLive, aux)
+		for o, s := range live {
+			if s == strongLive && aux[o] == notLive && ownerPtrSnap[o] == x {
+				derivative[o] = true
+			}
+		}
+	}
+
 	// ---- Copy phase: only locally-owned live objects move (§4.2) --------
+	// Runs unlocked; every move goes through the object's stripe and checks
+	// the copy license, so a concurrent ownership grant either happens
+	// entirely before the copy (license revoked, object skipped) or blocks
+	// on the stripe until the copy lands and then grants the new location.
+	copyWatch := transport.StartWatch(c.net.Clock())
 	for _, o := range sortedLiveOIDs(live) {
-		if !c.dsm.IsOwner(o) {
+		if !ownedSnap[o] {
 			continue
 		}
 		can, ok := c.heap.Canonical(o)
@@ -169,123 +317,171 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 		if meta == nil || !oldSegs[meta.ID] {
 			continue // already in to-space (e.g. allocated during this GC)
 		}
-		if man, moved := c.moveOwnedObject(o); moved {
+		if man, moved := c.moveOwnedObjectChecked(o); moved {
 			st.Copied++
+			st.CopiedWords += man.Size + mem.HeaderWords
 			c.copyHist.Observe(int64(man.Size))
 			c.rec.Emit(obs.Event{Kind: obs.KGCCopy, Class: obs.ClassGC,
 				Flags: gfl | obs.FlagOwned, OID: o, A: int64(man.Size)})
 		}
 	}
+	// The copy window is over: drop the remaining licenses so a later
+	// ownership grant pays no stripe round-trip for these objects.
+	c.copyMu.Lock()
+	for o := range ownedSnap {
+		delete(c.copyOwned, o)
+	}
+	c.copyMu.Unlock()
+	c.phaseHists["copy"].Observe(int64(copyWatch.Elapsed()))
 
 	// ---- Local reference update (§4.4): no token, strictly local --------
+	fixupWatch := transport.StartWatch(c.net.Clock())
 	for _, o := range sortedLiveOIDs(live) {
 		c.fixupLocalRefs(o)
 	}
+	c.phaseHists["fixup"].Observe(int64(fixupWatch.Elapsed()))
 
-	// ---- Flip pause 2: replay the mutation log --------------------------
-	pause2 := transport.StartWatch(c.net.Clock())
 	replayed := 0
-	for _, b := range bunches {
-		rep := c.reps[b]
-		for o := range rep.writeLog {
-			if live[o] != notLive {
-				c.fixupLocalRefs(o)
-			}
-			replayed++
-			c.net.Clock().Advance(c.costs.LogTick)
-		}
-	}
-	st.PauseFlipTicks = pause2.Elapsed()
-	c.rec.Emit(obs.Event{Kind: obs.KGCFlip, Class: obs.ClassGC, Flags: gfl,
-		A: int64(replayed), B: int64(st.PauseFlipTicks)})
-
-	// ---- Reclaim dead objects locally ------------------------------------
-	deadByManager := make(map[addr.NodeID][]addr.OID)
-	for _, b := range bunches {
-		for _, o := range c.knownInBunch(b) {
-			if live[o] != notLive {
-				continue
-			}
-			if c.dsm.IsRoutingOnly(o) {
-				// Already just a forwarding stub at the manager — but a
-				// late manifest may have re-attached a canonical address;
-				// shed it, or the stub would read as a present replica.
-				if _, ok := c.heap.Canonical(o); ok {
-					c.heap.DropObject(o)
-				}
-				continue
-			}
-			if can, ok := c.heap.Canonical(o); ok {
-				if meta := c.dir.Allocator().Lookup(can); meta != nil && !oldSegs[meta.ID] {
-					continue // allocated during this collection; not traced, not dead
-				}
-			}
-			manager := addr.NoNode
-			if info, ok := c.dir.Object(o); ok {
-				manager = info.AllocNode
-			}
-			if o == TraceOID {
-				fmt.Printf("TRACEOID %v: reclaiming at %v (owner=%v)\n", o, c.node, c.dsm.IsOwner(o))
-			}
-			rfl := gfl
-			if c.dsm.IsOwner(o) {
-				rfl |= obs.FlagOwned
-			}
-			c.rec.Emit(obs.Event{Kind: obs.KGCReclaim, Class: obs.ClassGC, Flags: rfl, OID: o})
-			c.heap.DropObject(o)
-			switch {
-			case c.dsm.IsOwner(o):
-				// The owner reclaims last: no entering ownerPtrs, no
-				// roots, no scions — the object is globally dead. Tell
-				// the manager to drop its forwarding stub.
-				c.dsm.Forget(o)
-				if manager != addr.NoNode && manager != c.node {
-					deadByManager[manager] = append(deadByManager[manager], o)
-				}
-			case manager == c.node:
-				// The allocation site anchors every ownerPtr chain for
-				// this object (Li's manager role): keep a routing-only
-				// stub so future acquires from any node still resolve.
-				if !c.dsm.DemoteToRouting(o) {
-					c.dsm.Forget(o)
+	locked(opts, func() {
+		// ---- Flip pause 2: replay the mutation log ----------------------
+		pause2 := transport.StartWatch(c.net.Clock())
+		var revive []addr.OID
+		for _, b := range bunches {
+			rep := c.Replica(b)
+			for o := range rep.writeLog {
+				if live[o] != notLive {
+					c.fixupLocalRefs(o)
 				} else {
-					c.stats().Add("core.gc.routingStubs", 1)
+					// Written while the collector ran but missed by the
+					// trace: the mutator reached it through roots acquired
+					// after the snapshot. Revive it (and what it references)
+					// rather than reclaim a live object.
+					revive = append(revive, o)
 				}
-			default:
-				c.dsm.Forget(o)
+				replayed++
+				c.net.Clock().Advance(c.costs.LogTick)
 			}
-			st.Dead++
-			c.stats().Add("core.gc.dead", 1)
 		}
-	}
-	c.sendDeadNotices(deadByManager)
+		if len(revive) > 0 {
+			slices.Sort(revive)
+			rn, rw := c.trace(set, revive, strongLive, live)
+			st.Scanned += rn
+			st.ScannedWords += rw
+			c.stats().Add("core.gc.revived", int64(len(revive)))
+		}
+		st.PauseFlipTicks = pause2.Elapsed()
+		c.phaseHists["flip"].Observe(int64(st.PauseFlipTicks))
+		c.rec.Emit(obs.Event{Kind: obs.KGCFlip, Class: obs.ClassGC, Flags: gfl,
+			A: int64(replayed), B: int64(st.PauseFlipTicks)})
 
-	// ---- Rebuild stub tables and exiting ownerPtrs (§4.3), send (§6) ----
-	for _, b := range bunches {
-		rep := c.reps[b]
-		oldTable := rep.Table
-		exiting := c.rebuildTable(b, live)
-		rep.Gen++
-		c.sendTables(b, oldTable, exiting)
-		rep.fromSegs = append(rep.fromSegs, fromCandidates[b]...)
-		rep.gcActive = false
-	}
+		// ---- Reclaim dead objects locally -------------------------------
+		reclaimWatch := transport.StartWatch(c.net.Clock())
+		deadByManager := make(map[addr.NodeID][]addr.OID)
+		for _, b := range bunches {
+			for _, o := range c.knownInBunch(b) {
+				if live[o] != notLive {
+					continue
+				}
+				if c.IsRoot(o) {
+					// Became a mutator root after the snapshot (a handle
+					// taken while the collector ran unlocked); the next
+					// collection decides its fate.
+					continue
+				}
+				if c.dsm.IsRoutingOnly(o) {
+					// Already just a forwarding stub at the manager — but a
+					// late manifest may have re-attached a canonical address;
+					// shed it, or the stub would read as a present replica.
+					if _, ok := c.heap.Canonical(o); ok {
+						c.heap.DropObject(o)
+					}
+					continue
+				}
+				if can, ok := c.heap.Canonical(o); ok {
+					if meta := c.dir.Allocator().Lookup(can); meta != nil && !oldSegs[meta.ID] {
+						continue // allocated during this collection; not traced, not dead
+					}
+				}
+				manager := addr.NoNode
+				if info, ok := c.dir.Object(o); ok {
+					manager = info.AllocNode
+				}
+				if o == TraceOID {
+					fmt.Printf("TRACEOID %v: reclaiming at %v (owner=%v)\n", o, c.node, c.dsm.IsOwner(o))
+				}
+				rfl := gfl
+				if c.dsm.IsOwner(o) {
+					rfl |= obs.FlagOwned
+				}
+				c.rec.Emit(obs.Event{Kind: obs.KGCReclaim, Class: obs.ClassGC, Flags: rfl, OID: o})
+				c.heap.DropObject(o)
+				switch {
+				case c.dsm.IsOwner(o):
+					// The owner reclaims last: no entering ownerPtrs, no
+					// roots, no scions — the object is globally dead. Tell
+					// the manager to drop its forwarding stub.
+					c.dsm.Forget(o)
+					if manager != addr.NoNode && manager != c.node {
+						deadByManager[manager] = append(deadByManager[manager], o)
+					}
+				case manager == c.node:
+					// The allocation site anchors every ownerPtr chain for
+					// this object (Li's manager role): keep a routing-only
+					// stub so future acquires from any node still resolve.
+					if !c.dsm.DemoteToRouting(o) {
+						c.dsm.Forget(o)
+					} else {
+						c.stats().Add("core.gc.routingStubs", 1)
+					}
+				default:
+					c.dsm.Forget(o)
+				}
+				st.Dead++
+				c.stats().Add("core.gc.dead", 1)
+			}
+		}
+		c.sendDeadNotices(deadByManager)
+		c.phaseHists["reclaim"].Observe(int64(reclaimWatch.Elapsed()))
 
-	for o, s := range live {
+		// ---- Rebuild stub tables and exiting ownerPtrs (§4.3), send (§6) -
+		tablesWatch := transport.StartWatch(c.net.Clock())
+		for _, b := range bunches {
+			rep := c.Replica(b)
+			oldTable := rep.Table
+			exiting := c.rebuildTable(b, live)
+			rep.Gen++
+			c.sendTables(b, oldTable, exiting, derivative)
+			rep.segMu.Lock()
+			rep.fromSegs = append(rep.fromSegs, fromCandidates[b]...)
+			rep.segMu.Unlock()
+			rep.gcActive = false
+		}
+		c.phaseHists["tables"].Observe(int64(tablesWatch.Elapsed()))
+	})
+
+	for _, s := range live {
 		if s == strongLive {
 			st.LiveStrong++
-		} else {
+		} else if s == weakLive {
 			st.LiveWeak++
 		}
-		_ = o
 	}
 	st.TotalTicks = total.Elapsed()
+	st.CPUTicks = c.costs.RootTick*uint64(st.RootCount) +
+		c.costs.ScanWordTick*uint64(st.ScannedWords) +
+		c.costs.CopyWordTick*uint64(st.CopiedWords) +
+		c.costs.LogTick*uint64(replayed)
+	st.WallNS = time.Since(wall).Nanoseconds()
 	c.rec.Emit(obs.Event{Kind: obs.KGCDone, Class: obs.ClassGC, Flags: gfl,
 		A: int64(st.Dead), B: int64(st.TotalTicks)})
 	c.stats().Add("core.gc.runs", 1)
 	c.stats().Add("core.gc.pauseRootTicks", int64(st.PauseRootTicks))
 	c.stats().Add("core.gc.pauseFlipTicks", int64(st.PauseFlipTicks))
 	c.stats().Add("core.gc.totalTicks", int64(st.TotalTicks))
+	c.stats().Add("core.gc.cpuTicks", int64(st.CPUTicks))
+	// WallNS is deliberately not a counter: counters must be identical
+	// across same-seed runs (the chaos determinism harness diffs them), and
+	// real time never is. Wall time is reported through CollectStats only.
 	return st
 }
 
@@ -316,7 +512,8 @@ func (c *Collector) LiveOIDs(b addr.BunchID) []addr.OID {
 
 // newAllocSeg creates a fresh local allocation segment for bunch b and
 // remembers it as locally created (only its creator ever allocates into a
-// segment, so only the creator may later reclaim it).
+// segment, so only the creator may later reclaim it). Callers hold the
+// replica's segMu.
 func (c *Collector) newAllocSeg(b addr.BunchID) *mem.Segment {
 	rep := c.Replica(b)
 	meta := c.dir.AddSegment(b)
@@ -341,9 +538,21 @@ func (c *Collector) newAllocSeg(b addr.BunchID) *mem.Segment {
 // set at the given strength, scanning objects in place — including
 // non-owned, possibly inconsistent replicas: "an inconsistent copy of the
 // object is sufficient, because scanning an old version results in making a
-// more conservative decision" (§4.2). Returns the number of objects scanned.
-func (c *Collector) trace(set map[addr.BunchID]bool, roots []addr.OID, strength int, live map[addr.OID]int) int {
-	scanned := 0
+// more conservative decision" (§4.2). Returns the number of objects and
+// words scanned.
+func (c *Collector) trace(set map[addr.BunchID]bool, roots []addr.OID, strength int, live map[addr.OID]int) (int, int) {
+	return c.traceImpl(set, roots, strength, live, false)
+}
+
+// traceQuiet is trace without clock charges, stats or diagnostics: an
+// analysis pass (e.g. the derivative-exiting computation) that must not
+// perturb the simulation's accounting.
+func (c *Collector) traceQuiet(set map[addr.BunchID]bool, roots []addr.OID, strength int, live map[addr.OID]int) {
+	c.traceImpl(set, roots, strength, live, true)
+}
+
+func (c *Collector) traceImpl(set map[addr.BunchID]bool, roots []addr.OID, strength int, live map[addr.OID]int, quiet bool) (int, int) {
+	scanned, words := 0, 0
 	work := append([]addr.OID(nil), roots...)
 	for len(work) > 0 {
 		o := work[len(work)-1]
@@ -355,41 +564,67 @@ func (c *Collector) trace(set map[addr.BunchID]bool, roots []addr.OID, strength 
 			continue // cross-bunch edges are represented by SSPs, not traced
 		}
 		live[o] = strength
-		if o == TraceOID {
+		if o == TraceOID && !quiet {
 			fmt.Printf("TRACEOID %v: live (strength %d) at %v\n", o, strength, c.node)
 		}
 		a, ok := c.heap.Canonical(o)
 		if !ok {
-			c.stats().Add("core.gc.rootUnknown", 1)
+			if !quiet {
+				c.stats().Add("core.gc.rootUnknown", 1)
+			}
 			continue
 		}
 		if !c.heap.Mapped(a) || !c.heap.IsObjectAt(a) {
-			c.stats().Add("core.gc.notPresent", 1)
+			if !quiet {
+				c.stats().Add("core.gc.notPresent", 1)
+			}
 			continue
 		}
 		scanned++
 		size := c.heap.ObjSize(a)
-		c.net.Clock().Advance(c.costs.ScanWordTick * uint64(size))
+		words += size
+		if !quiet {
+			c.net.Clock().Advance(c.costs.ScanWordTick * uint64(size))
+		}
 		for _, v := range sortedRefValues(c.heap.Refs(a)) {
 			if v.IsNil() {
 				continue
 			}
 			t := c.OIDAt(v)
 			if t.IsNil() {
-				c.stats().Add("core.gc.danglingScan", 1)
+				if !quiet {
+					c.stats().Add("core.gc.danglingScan", 1)
+				}
 				continue
 			}
 			work = append(work, t)
 		}
 	}
-	return scanned
+	return scanned, words
+}
+
+// stubsAllInGroup reports whether every inter-bunch stub this node holds
+// targeting o originates in a bunch of the collected set — i.e. this very
+// collection decides the fate of every local stub sustaining o's remote
+// scions.
+func (c *Collector) stubsAllInGroup(o addr.OID, set map[addr.BunchID]bool) bool {
+	for _, b := range c.MappedBunches() {
+		for _, s := range c.Replica(b).Table.InterStubs {
+			if s.TargetOID == o && !set[s.SrcBunch] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // fixupLocalRefs rewrites the pointer fields of o's local copy through the
 // local forwarding pointers. This modifies objects without any token: the
 // change is address-level only and invisible to the application's
-// consistency contract (§4.4).
+// consistency contract (§4.4). The object's stripe keeps the rewrite atomic
+// against a concurrent copy of the same object.
 func (c *Collector) fixupLocalRefs(o addr.OID) {
+	defer c.LockObject(o)()
 	a, ok := c.heap.Canonical(o)
 	if !ok || !c.heap.Mapped(a) || !c.heap.IsObjectAt(a) {
 		return
@@ -421,7 +656,7 @@ func (c *Collector) knownInBunch(b addr.BunchID) []addr.OID {
 	for o := range set {
 		out = append(out, o)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -432,7 +667,7 @@ func (c *Collector) knownInBunch(b addr.BunchID) []addr.OID {
 // are untouched — only the scion cleaner retires them. It returns the new
 // exiting-ownerPtr map, which omits weakly live objects (§6.2).
 func (c *Collector) rebuildTable(b addr.BunchID, live map[addr.OID]int) map[addr.OID]addr.NodeID {
-	rep := c.reps[b]
+	rep := c.Replica(b)
 	old := rep.Table
 	nt := ssp.NewTable(b)
 	nt.InterScions = old.InterScions
@@ -499,8 +734,8 @@ func (c *Collector) objectStillReferences(src, target addr.OID) bool {
 // ownerPtr target (§4.1). Messages are complete snapshots — idempotent, so
 // no reliable transport is needed (§6.1). The local subset is processed
 // synchronously (a node is its own scion cleaner for local SSPs).
-func (c *Collector) sendTables(b addr.BunchID, oldTable *ssp.Table, exiting map[addr.OID]addr.NodeID) {
-	rep := c.reps[b]
+func (c *Collector) sendTables(b addr.BunchID, oldTable *ssp.Table, exiting map[addr.OID]addr.NodeID, derivative map[addr.OID]bool) {
+	rep := c.Replica(b)
 	dests := make(map[addr.NodeID]bool)
 	for _, n := range c.dir.Holders(b) {
 		dests[n] = true
@@ -520,7 +755,7 @@ func (c *Collector) sendTables(b addr.BunchID, oldTable *ssp.Table, exiting map[
 	for n := range dests {
 		order = append(order, n)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(order)
 
 	for _, dst := range order {
 		msg := ssp.TableMsg{From: c.node, Bunch: b, Gen: rep.Gen}
@@ -537,9 +772,13 @@ func (c *Collector) sendTables(b addr.BunchID, oldTable *ssp.Table, exiting map[
 		for o, t := range exiting {
 			if t == dst {
 				msg.Exiting = append(msg.Exiting, o)
+				if derivative[o] {
+					msg.Derivative = append(msg.Derivative, o)
+				}
 			}
 		}
-		sort.Slice(msg.Exiting, func(i, j int) bool { return msg.Exiting[i] < msg.Exiting[j] })
+		slices.Sort(msg.Exiting)
+		slices.Sort(msg.Derivative)
 
 		if dst == c.node {
 			c.ApplyTable(msg)
@@ -561,7 +800,7 @@ func sortedLiveOIDs(live map[addr.OID]int) []addr.OID {
 			out = append(out, o)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -572,7 +811,7 @@ func sortedRefValues(refs map[int]addr.Addr) []addr.Addr {
 	for i := range refs {
 		idx = append(idx, i)
 	}
-	sort.Ints(idx)
+	slices.Sort(idx)
 	out := make([]addr.Addr, 0, len(idx))
 	for _, i := range idx {
 		out = append(out, refs[i])

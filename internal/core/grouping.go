@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 )
@@ -46,7 +46,7 @@ func (c *Collector) ConnectedGroups() [][]addr.BunchID {
 		parent[b] = b
 	}
 	for _, b := range bunches {
-		t := c.reps[b].Table
+		t := c.Replica(b).Table
 		for _, s := range t.InterStubs {
 			union(s.SrcBunch, s.TargetBunch)
 		}
@@ -61,10 +61,19 @@ func (c *Collector) ConnectedGroups() [][]addr.BunchID {
 	}
 	var out [][]addr.BunchID
 	for _, group := range byRoot {
-		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+		slices.Sort(group)
 		out = append(out, group)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	slices.SortFunc(out, func(a, b []addr.BunchID) int {
+		switch {
+		case a[0] < b[0]:
+			return -1
+		case a[0] > b[0]:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 
@@ -76,17 +85,7 @@ func (c *Collector) ConnectedGroups() [][]addr.BunchID {
 func (c *Collector) CollectConnectedGroups() CollectStats {
 	var total CollectStats
 	for _, group := range c.ConnectedGroups() {
-		st := c.collect(group, CollectOpts{}, true)
-		total.Bunches += st.Bunches
-		total.RootCount += st.RootCount
-		total.LiveStrong += st.LiveStrong
-		total.LiveWeak += st.LiveWeak
-		total.Dead += st.Dead
-		total.Copied += st.Copied
-		total.Scanned += st.Scanned
-		total.PauseRootTicks += st.PauseRootTicks
-		total.PauseFlipTicks += st.PauseFlipTicks
-		total.TotalTicks += st.TotalTicks
+		total.Merge(c.collect(group, CollectOpts{}, true))
 	}
 	return total
 }

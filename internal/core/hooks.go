@@ -38,7 +38,7 @@ func (c *Collector) manifestOf(o addr.OID) (dsm.Manifest, bool) {
 	}
 	return dsm.Manifest{
 		OID: o, Addr: a, Size: size, Bunch: c.dir.BunchOf(o),
-		Epoch: c.locEpoch[o],
+		Epoch: c.LocationEpoch(o),
 	}, true
 }
 
@@ -98,14 +98,18 @@ func (c *Collector) applyManifest(m dsm.Manifest, from addr.NodeID) {
 	// may deliver an older location after a newer one; applying it would
 	// move the canonical address backward and plant a stale forwarding
 	// pointer over good data.
+	c.locMu.Lock()
 	if m.Epoch < c.locEpoch[m.OID] {
+		cur := c.locEpoch[m.OID]
+		c.locMu.Unlock()
 		if m.OID == TraceOID {
-			fmt.Printf("TRACEOID %v: manifest at %v stale epoch %d < %d\n", m.OID, c.node, m.Epoch, c.locEpoch[m.OID])
+			fmt.Printf("TRACEOID %v: manifest at %v stale epoch %d < %d\n", m.OID, c.node, m.Epoch, cur)
 		}
 		c.stats().Add("core.loc.staleEpoch", 1)
 		return
 	}
 	c.locEpoch[m.OID] = m.Epoch
+	c.locMu.Unlock()
 	if !c.heap.Mapped(m.Addr) {
 		c.heap.MapSegment(meta)
 		// Holding part of the bunch makes this node an interested party
@@ -243,6 +247,15 @@ func (c *Collector) normalizeRefs(a addr.Addr) {
 // intra-bunch scion before the token grant and return the request for the
 // new owner's matching stub (§5, §3.2).
 func (c *Collector) PrepareOwnershipTransfer(o addr.OID, newOwner addr.NodeID, newOwnerGen uint64) *dsm.IntraSSPReq {
+	// Revoke any copy license a running parallel collection holds for o.
+	// Taking the stripe blocks until an in-flight copy of o lands, and the
+	// license removal stops any later copy attempt: once the token leaves
+	// this node, only the new owner may move the object (§4.2).
+	unlock := c.LockObject(o)
+	c.copyMu.Lock()
+	delete(c.copyOwned, o)
+	c.copyMu.Unlock()
+	unlock()
 	b := c.dir.BunchOf(o)
 	if b == addr.NoBunch {
 		return nil
@@ -338,11 +351,14 @@ func (c *Collector) OnOwnershipAcquired(o addr.OID) {
 // TakePendingManifests drains the location updates queued for peer so they
 // ride as piggyback on an outgoing consistency message (§4.4).
 func (c *Collector) TakePendingManifests(peer addr.NodeID) []dsm.Manifest {
+	c.locMu.Lock()
 	q := c.pending[peer]
 	if len(q) == 0 {
+		c.locMu.Unlock()
 		return nil
 	}
 	delete(c.pending, peer)
+	c.locMu.Unlock()
 	c.stats().Add("core.loc.piggybacked", int64(len(q)))
 	return manifestList(q)
 }
@@ -407,11 +423,14 @@ func (c *Collector) Reestablish(o addr.OID) bool {
 	}
 	if !live {
 		rep := c.Replica(info.Bunch)
+		rep.segMu.Lock()
 		if rep.allocSeg == nil || rep.allocSeg.FreeWords() < mem.HeaderWords+info.Size {
 			rep.allocSeg = c.newAllocSeg(info.Bunch)
 		}
+		seg := rep.allocSeg
+		rep.segMu.Unlock()
 		var ok2 bool
-		a, ok2 = c.heap.Alloc(rep.allocSeg, o, info.Size)
+		a, ok2 = c.heap.Alloc(seg, o, info.Size)
 		if !ok2 {
 			return false
 		}
@@ -420,7 +439,9 @@ func (c *Collector) Reestablish(o addr.OID) bool {
 	c.heap.SetCanonical(o, a)
 	// Supersede every location manifest in flight: a delayed older address
 	// must not move the resurrected object backward at any holder.
+	c.locMu.Lock()
 	c.locEpoch[o]++
+	c.locMu.Unlock()
 	c.queueLocation(o, info.Bunch, a, c.heap.ObjSize(a))
 	c.stats().Add("core.reestablished", 1)
 	return true

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
@@ -130,7 +130,7 @@ func (c *Collector) HandleAsync(m transport.Msg) {
 func (c *Collector) sendDeadNotices(byManager map[addr.NodeID][]addr.OID) {
 	for _, mgr := range sortedNodeIDs(byManager) {
 		oids := byManager[mgr]
-		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+		slices.Sort(oids)
 		c.net.Send(transport.Msg{
 			From: c.node, To: mgr, Kind: KindDeadNotice, Class: transport.ClassGC,
 			Payload: DeadNoticeMsg{From: c.node, OIDs: oids},
@@ -145,7 +145,7 @@ func sortedNodeIDs(m map[addr.NodeID][]addr.OID) []addr.NodeID {
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -171,15 +171,48 @@ func (c *Collector) serveCopyOut(req CopyOutReq) CopyOutReply {
 			rep.NotOwned[o] = addr.NoNode
 		}
 	}
-	sort.Slice(rep.Manifests, func(i, j int) bool { return rep.Manifests[i].OID < rep.Manifests[j].OID })
+	slices.SortFunc(rep.Manifests, func(a, b dsm.Manifest) int {
+		switch {
+		case a.OID < b.OID:
+			return -1
+		case a.OID > b.OID:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return rep
 }
 
 // moveOwnedObject copies a locally-owned object into the current allocation
 // segment of its bunch, installs the forwarding pointer, and queues location
-// updates for every other replica holder. It is the single copying primitive
-// shared by the BGC, the GGC and the copy-out service.
+// updates for every other replica holder, serialized against mutators and
+// parallel GC workers by the object's stripe. It is the copying primitive
+// used by the serial paths (copy-out service, segment evacuation).
 func (c *Collector) moveOwnedObject(o addr.OID) (dsm.Manifest, bool) {
+	defer c.LockObject(o)()
+	return c.moveOwnedObjectLocked(o)
+}
+
+// moveOwnedObjectChecked is the parallel collector's copying primitive: it
+// takes the object's stripe and re-validates the copy license under it. If
+// an ownership transfer revoked the license since the trace barrier, the
+// token (and the right to move the object) has left this node and the copy
+// is skipped — the new owner's collector will move it.
+func (c *Collector) moveOwnedObjectChecked(o addr.OID) (dsm.Manifest, bool) {
+	defer c.LockObject(o)()
+	c.copyMu.Lock()
+	licensed := c.copyOwned[o]
+	c.copyMu.Unlock()
+	if !licensed {
+		c.stats().Add("core.gc.copyRevoked", 1)
+		return dsm.Manifest{}, false
+	}
+	return c.moveOwnedObjectLocked(o)
+}
+
+// moveOwnedObjectLocked does the actual copy. Callers hold o's stripe.
+func (c *Collector) moveOwnedObjectLocked(o addr.OID) (dsm.Manifest, bool) {
 	old, ok := c.heap.Canonical(o)
 	if !ok || !c.heap.Mapped(old) || !c.heap.IsObjectAt(old) {
 		return dsm.Manifest{}, false
@@ -201,10 +234,13 @@ func (c *Collector) moveOwnedObject(o addr.OID) (dsm.Manifest, bool) {
 	b := c.dir.BunchOf(o)
 	rep := c.Replica(b)
 	size := c.heap.ObjSize(old)
+	rep.segMu.Lock()
 	if rep.allocSeg == nil || rep.allocSeg.FreeWords() < size+mem.HeaderWords {
 		rep.allocSeg = c.heap.MapSegment(c.dir.AddSegment(b))
 	}
-	to, allocOK := c.heap.Alloc(rep.allocSeg, o, size)
+	seg := rep.allocSeg
+	rep.segMu.Unlock()
+	to, allocOK := c.heap.Alloc(seg, o, size)
 	if !allocOK {
 		return dsm.Manifest{}, false
 	}
@@ -217,12 +253,15 @@ func (c *Collector) moveOwnedObject(o addr.OID) (dsm.Manifest, bool) {
 	c.heap.SetFwd(old, to)
 	c.heap.SetCanonical(o, to)
 	c.dir.RecordPlacement(to, o)
+	c.locMu.Lock()
 	c.locEpoch[o]++
+	ep := c.locEpoch[o]
+	c.locMu.Unlock()
 	c.net.Clock().Advance(c.costs.CopyWordTick * uint64(size+mem.HeaderWords))
 	c.queueLocation(o, b, to, size)
 	c.stats().Add("core.gc.copied", 1)
 	c.stats().Add("core.gc.copiedWords", int64(size+mem.HeaderWords))
-	return dsm.Manifest{OID: o, Addr: to, Size: size, Bunch: b, Epoch: c.locEpoch[o]}, true
+	return dsm.Manifest{OID: o, Addr: to, Size: size, Bunch: b, Epoch: ep}, true
 }
 
 // serveAddrChange participates in another node's from-space reuse round
@@ -303,10 +342,19 @@ func (c *Collector) requestCopyOut(oids []addr.OID) {
 		}
 		var targets []target
 		for n, os := range byNode {
-			sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
+			slices.Sort(os)
 			targets = append(targets, target{n, os})
 		}
-		sort.Slice(targets, func(i, j int) bool { return targets[i].node < targets[j].node })
+		slices.SortFunc(targets, func(a, b target) int {
+			switch {
+			case a.node < b.node:
+				return -1
+			case a.node > b.node:
+				return 1
+			default:
+				return 0
+			}
+		})
 		next := make(map[addr.OID]addr.NodeID)
 		for _, t := range targets {
 			if t.node == c.node {

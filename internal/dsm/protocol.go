@@ -253,6 +253,7 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 		for _, pe := range rep.Path {
 			if pe.Node != n.id {
 				st.Entering[pe.Node] = pe.Gen
+				delete(st.DerivEntering, pe.Node)
 			}
 		}
 		n.rec.Emit(obs.Event{Kind: obs.KOwnerTransfer, Class: obs.Class(class), OID: o, From: rep.Granter, To: n.id})
@@ -451,6 +452,7 @@ func (n *Node) grantAsOwner(req acquireReq, st *ObjState) (acquireReply, error) 
 	// The requester now owns the object, so its replica no longer points
 	// here: any entering entry recorded for it is obsolete.
 	delete(st.Entering, req.Requester)
+	delete(st.DerivEntering, req.Requester)
 	n.stats().Add("dsm.grant.write", 1)
 	return rep, nil
 }
@@ -462,6 +464,7 @@ func (n *Node) grantRead(req acquireReq, st *ObjState) acquireReply {
 	// the token), not the invalidation machinery.
 	st.CopySet[req.Requester] = true
 	st.Entering[req.Requester] = req.RequesterGen
+	delete(st.DerivEntering, req.Requester)
 	n.stats().Add("dsm.grant.read", 1)
 	n.rec.Emit(obs.Event{Kind: obs.KAcquireGrant, Class: obs.Class(req.Class), OID: req.O,
 		From: req.Requester, To: n.id, A: int64(req.Mode), B: int64(req.Hops)})
@@ -490,6 +493,7 @@ func (n *Node) recordManifestEntering(ms []Manifest, req acquireReq) {
 		st := n.state(m.OID)
 		if _, ok := st.Entering[req.Requester]; !ok {
 			st.Entering[req.Requester] = req.RequesterGen
+			delete(st.DerivEntering, req.Requester)
 		}
 	}
 }

@@ -1,7 +1,7 @@
 package dsm
 
 import (
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 )
@@ -27,6 +27,12 @@ type ObjState struct {
 	// nodes whose references must eventually be updated (§4.5); the scion
 	// cleaner retires them using table messages (§6).
 	Entering map[addr.NodeID]uint64
+	// DerivEntering marks entering entries whose sender reported the remote
+	// replica as live only through scions this node itself created
+	// (TableMsg.Derivative). A group collection covering the sustaining
+	// stubs may discount such entries as roots; everything else treats them
+	// like ordinary entering entries.
+	DerivEntering map[addr.NodeID]bool
 	// RoutingOnly marks a forwarding stub kept at the object's allocation
 	// site (its manager, in Li's terminology) after the local replica was
 	// reclaimed: the site anchors every ownerPtr chain, so it must keep
@@ -37,11 +43,12 @@ type ObjState struct {
 
 func newObjState(b addr.BunchID) *ObjState {
 	return &ObjState{
-		Bunch:    b,
-		Mode:     ModeInvalid,
-		OwnerPtr: addr.NoNode,
-		CopySet:  make(map[addr.NodeID]bool),
-		Entering: make(map[addr.NodeID]uint64),
+		Bunch:         b,
+		Mode:          ModeInvalid,
+		OwnerPtr:      addr.NoNode,
+		CopySet:       make(map[addr.NodeID]bool),
+		Entering:      make(map[addr.NodeID]uint64),
+		DerivEntering: make(map[addr.NodeID]bool),
 	}
 }
 
@@ -122,7 +129,45 @@ func (n *Node) AddEntering(o addr.OID, from addr.NodeID, gen uint64) {
 	st := n.state(o)
 	if _, ok := st.Entering[from]; !ok {
 		st.Entering[from] = gen
+		// A fresh entry starts as an ordinary root; only the sender's next
+		// table may mark it derivative.
+		delete(st.DerivEntering, from)
 	}
+}
+
+// SetEnteringDerivative records whether from's latest reachability table
+// reported its replica of o as live only through scions created on this
+// node's behalf. No-op when the entering entry does not exist.
+func (n *Node) SetEnteringDerivative(o addr.OID, from addr.NodeID, derivative bool) {
+	st, ok := n.objs[o]
+	if !ok {
+		return
+	}
+	if _, ok := st.Entering[from]; !ok {
+		return
+	}
+	if derivative {
+		st.DerivEntering[from] = true
+	} else {
+		delete(st.DerivEntering, from)
+	}
+}
+
+// EnteringAllDerivative reports whether o has at least one entering entry
+// and every one of them is marked derivative — i.e. every remote replica
+// routing through this node is held live solely by scions this node's own
+// stubs sustain.
+func (n *Node) EnteringAllDerivative(o addr.OID) bool {
+	st, ok := n.objs[o]
+	if !ok || len(st.Entering) == 0 {
+		return false
+	}
+	for from := range st.Entering {
+		if !st.DerivEntering[from] {
+			return false
+		}
+	}
+	return true
 }
 
 // ModeOf returns the node's token mode for o.
@@ -168,7 +213,7 @@ func (n *Node) EnteringOf(o addr.OID) []addr.NodeID {
 	for id := range st.Entering {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -182,7 +227,7 @@ func (n *Node) EnteringRoots(b addr.BunchID) []addr.OID {
 			out = append(out, o)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -211,6 +256,7 @@ func (n *Node) RemoveEnteringUpTo(o addr.OID, from addr.NodeID, gen uint64) bool
 	}
 	if g, ok := st.Entering[from]; ok && g <= gen {
 		delete(st.Entering, from)
+		delete(st.DerivEntering, from)
 		return true
 	}
 	return false
@@ -224,7 +270,7 @@ func (n *Node) ObjectsInBunch(b addr.BunchID) []addr.OID {
 			out = append(out, o)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -233,6 +279,6 @@ func sortedNodes(set map[addr.NodeID]bool) []addr.NodeID {
 	for id := range set {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 
 	"bmx/internal/addr"
 )
@@ -11,8 +12,18 @@ import (
 // every object the node knows about. Canonical addresses legitimately differ
 // across nodes between a bunch collection and the propagation of the
 // location updates — that transient divergence is the heart of the paper.
+//
+// The heap is internally synchronized: h.mu guards the segment and canonical
+// maps, and every segment replica carries its own lock (see Segment). This
+// is what lets the parallel collector run its trace/copy/fixup phases with
+// the node lock released while mutators keep operating on the same heap. The
+// locking discipline is strict: h.mu is never held while a segment lock is
+// taken in a way that could invert (segment-locked code never calls back
+// into the heap maps), and no operation ever holds two segment locks
+// (CopyObject stages through a buffer).
 type Heap struct {
 	alloc *Allocator
+	mu    sync.RWMutex
 	segs  map[addr.SegID]*Segment
 	objs  map[addr.OID]addr.Addr // node-local canonical header address
 }
@@ -32,6 +43,8 @@ func (h *Heap) Allocator() *Allocator { return h.alloc }
 // MapSegment creates a zeroed local replica of the segment described by m.
 // Mapping an already-mapped segment returns the existing replica.
 func (h *Heap) MapSegment(m *SegmentMeta) *Segment {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if s, ok := h.segs[m.ID]; ok {
 		return s
 	}
@@ -43,6 +56,8 @@ func (h *Heap) MapSegment(m *SegmentMeta) *Segment {
 // UnmapSegment drops the local replica of segment id and forgets the
 // canonical addresses that pointed into it.
 func (h *Heap) UnmapSegment(id addr.SegID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	s, ok := h.segs[id]
 	if !ok {
 		return
@@ -56,7 +71,11 @@ func (h *Heap) UnmapSegment(id addr.SegID) {
 }
 
 // Seg returns the local replica of segment id, or nil if not mapped.
-func (h *Heap) Seg(id addr.SegID) *Segment { return h.segs[id] }
+func (h *Heap) Seg(id addr.SegID) *Segment {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.segs[id]
+}
 
 // SegAt returns the local replica containing address a, or nil.
 func (h *Heap) SegAt(a addr.Addr) *Segment {
@@ -64,7 +83,7 @@ func (h *Heap) SegAt(a addr.Addr) *Segment {
 	if m == nil {
 		return nil
 	}
-	return h.segs[m.ID]
+	return h.Seg(m.ID)
 }
 
 // Mapped reports whether the segment containing a is mapped locally.
@@ -72,6 +91,8 @@ func (h *Heap) Mapped(a addr.Addr) bool { return h.SegAt(a) != nil }
 
 // Segments returns the IDs of all locally mapped segments.
 func (h *Heap) Segments() []addr.SegID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]addr.SegID, 0, len(h.segs))
 	for id := range h.segs {
 		out = append(out, id)
@@ -88,10 +109,20 @@ func (h *Heap) mustSeg(a addr.Addr) *Segment {
 }
 
 // Word reads the word at address a. The address must be mapped.
-func (h *Heap) Word(a addr.Addr) uint64 { return *h.mustSeg(a).word(a) }
+func (h *Heap) Word(a addr.Addr) uint64 {
+	s := h.mustSeg(a)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.words[a.WordOff(s.Meta.Base)]
+}
 
 // SetWord writes the word at address a. The address must be mapped.
-func (h *Heap) SetWord(a addr.Addr, v uint64) { *h.mustSeg(a).word(a) = v }
+func (h *Heap) SetWord(a addr.Addr, v uint64) {
+	s := h.mustSeg(a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.words[a.WordOff(s.Meta.Base)] = v
+}
 
 // ---- Object layout -------------------------------------------------------
 
@@ -104,13 +135,18 @@ func (h *Heap) Alloc(s *Segment, oid addr.OID, dataWords int) (addr.Addr, bool) 
 		panic("mem: negative object size")
 	}
 	need := HeaderWords + dataWords
-	if s.FreeWords() < need {
+	s.mu.Lock()
+	if s.Meta.Words-s.allocOff < need {
+		s.mu.Unlock()
 		return addr.NilAddr, false
 	}
 	a := s.Meta.Base.AddWords(s.allocOff)
 	s.allocOff += need
-	h.writeHeader(s, a, oid, dataWords)
+	writeHeaderLocked(s, a, oid, dataWords)
+	s.mu.Unlock()
+	h.mu.Lock()
 	h.objs[oid] = a
+	h.mu.Unlock()
 	return a, true
 }
 
@@ -120,6 +156,12 @@ func (h *Heap) Alloc(s *Segment, oid addr.OID, dataWords int) (addr.Addr, bool) 
 // not change the canonical address; callers decide that policy.
 func (h *Heap) Materialize(a addr.Addr, oid addr.OID, dataWords int) {
 	s := h.mustSeg(a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	materializeLocked(s, a, oid, dataWords)
+}
+
+func materializeLocked(s *Segment, a addr.Addr, oid addr.OID, dataWords int) {
 	off := a.WordOff(s.Meta.Base)
 	if off+HeaderWords+dataWords > s.Meta.Words {
 		panic(fmt.Sprintf("mem: materialize %v (%d words) overflows %v", oid, dataWords, s.Meta.ID))
@@ -129,10 +171,10 @@ func (h *Heap) Materialize(a addr.Addr, oid addr.OID, dataWords int) {
 		// later local allocation cannot overlap them.
 		s.allocOff = off + HeaderWords + dataWords
 	}
-	h.writeHeader(s, a, oid, dataWords)
+	writeHeaderLocked(s, a, oid, dataWords)
 }
 
-func (h *Heap) writeHeader(s *Segment, a addr.Addr, oid addr.OID, dataWords int) {
+func writeHeaderLocked(s *Segment, a addr.Addr, oid addr.OID, dataWords int) {
 	off := a.WordOff(s.Meta.Base)
 	s.words[off] = uint64(uint32(dataWords))
 	s.words[off+1] = uint64(oid)
@@ -146,6 +188,8 @@ func (h *Heap) IsObjectAt(a addr.Addr) bool {
 	if s == nil {
 		return false
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.objMap.Get(a.WordOff(s.Meta.Base))
 }
 
@@ -162,24 +206,38 @@ func (h *Heap) Forwarded(a addr.Addr) bool { return h.Word(a)&flagForwarded != 0
 // Fwd returns the forwarding pointer of the object headed at a (nil if the
 // object has not been copied).
 func (h *Heap) Fwd(a addr.Addr) addr.Addr {
-	if !h.Forwarded(a) {
+	s := h.mustSeg(a)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	off := a.WordOff(s.Meta.Base)
+	if s.words[off]&flagForwarded == 0 {
 		return addr.NilAddr
 	}
-	return addr.Addr(h.Word(a.AddWords(2)))
+	return addr.Addr(s.words[off+2])
 }
 
 // SetFwd installs a forwarding pointer in the header of the object at a.
 // This modification is strictly local and never requires a token (§4.2).
+// The target word is published before the flag, under one lock hold, so a
+// concurrent Resolve never observes the flag without the target.
 func (h *Heap) SetFwd(a, to addr.Addr) {
-	h.SetWord(a, h.Word(a)|flagForwarded)
-	h.SetWord(a.AddWords(2), uint64(to))
+	s := h.mustSeg(a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := a.WordOff(s.Meta.Base)
+	s.words[off+2] = uint64(to)
+	s.words[off] |= flagForwarded
 }
 
 // ClearFwd removes the forwarding pointer (used when a from-space segment is
 // reclaimed and the header deleted, §4.5).
 func (h *Heap) ClearFwd(a addr.Addr) {
-	h.SetWord(a, h.Word(a)&^flagForwarded)
-	h.SetWord(a.AddWords(2), 0)
+	s := h.mustSeg(a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := a.WordOff(s.Meta.Base)
+	s.words[off] &^= flagForwarded
+	s.words[off+2] = 0
 }
 
 // Resolve follows forwarding pointers from a until it reaches an address
@@ -192,11 +250,14 @@ func (h *Heap) Resolve(a addr.Addr) addr.Addr {
 		if s == nil {
 			return a
 		}
+		s.mu.RLock()
 		off := a.WordOff(s.Meta.Base)
 		if !s.objMap.Get(off) || s.words[off]&flagForwarded == 0 {
+			s.mu.RUnlock()
 			return a
 		}
 		next := addr.Addr(s.words[off+2])
+		s.mu.RUnlock()
 		if next == a {
 			return a
 		}
@@ -210,17 +271,20 @@ func (h *Heap) DataAddr(a addr.Addr, i int) addr.Addr { return a.AddWords(Header
 
 // GetField reads data word i of the object headed at a.
 func (h *Heap) GetField(a addr.Addr, i int) uint64 {
-	h.checkField(a, i)
-	return h.Word(h.DataAddr(a, i))
+	s := h.mustSeg(a)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	off := checkFieldLocked(s, a, i)
+	return s.words[off]
 }
 
 // SetField writes data word i of the object headed at a and records in the
 // reference map whether the word now holds a pointer.
 func (h *Heap) SetField(a addr.Addr, i int, v uint64, isRef bool) {
-	h.checkField(a, i)
-	fa := h.DataAddr(a, i)
-	s := h.mustSeg(fa)
-	off := fa.WordOff(s.Meta.Base)
+	s := h.mustSeg(a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := checkFieldLocked(s, a, i)
 	s.words[off] = v
 	if isRef {
 		s.refMap.Set(off)
@@ -232,26 +296,40 @@ func (h *Heap) SetField(a addr.Addr, i int, v uint64, isRef bool) {
 // IsRefField reports whether data word i of the object at a holds a pointer
 // according to the reference map.
 func (h *Heap) IsRefField(a addr.Addr, i int) bool {
-	h.checkField(a, i)
-	fa := h.DataAddr(a, i)
-	s := h.mustSeg(fa)
-	return s.refMap.Get(fa.WordOff(s.Meta.Base))
+	s := h.mustSeg(a)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.refMap.Get(checkFieldLocked(s, a, i))
 }
 
-func (h *Heap) checkField(a addr.Addr, i int) {
-	if i < 0 || i >= h.ObjSize(a) {
+// checkFieldLocked validates the field index against the object header and
+// returns the word offset of the field. The segment lock must be held. The
+// object's data words must lie in the same segment as its header (objects
+// never straddle segments).
+func checkFieldLocked(s *Segment, a addr.Addr, i int) int {
+	hdr := a.WordOff(s.Meta.Base)
+	size := int(uint32(s.words[hdr]))
+	if i < 0 || i >= size {
 		panic(fmt.Sprintf("mem: field %d out of range for object %v (%d words) at %v",
-			i, h.ObjOID(a), h.ObjSize(a), a))
+			i, addr.OID(s.words[hdr+1]), size, a))
 	}
+	return hdr + HeaderWords + i
 }
 
 // Refs returns the addresses stored in the pointer fields of the object at
-// a, including nil ones, with their field indices.
+// a, including nil ones, with their field indices. The whole read is one
+// atomic snapshot of the object's pointer fields.
 func (h *Heap) Refs(a addr.Addr) map[int]addr.Addr {
+	s := h.mustSeg(a)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hdr := a.WordOff(s.Meta.Base)
+	size := int(uint32(s.words[hdr]))
 	out := make(map[int]addr.Addr)
-	for i, n := 0, h.ObjSize(a); i < n; i++ {
-		if h.IsRefField(a, i) {
-			out[i] = addr.Addr(h.GetField(a, i))
+	for i := 0; i < size; i++ {
+		off := hdr + HeaderWords + i
+		if s.refMap.Get(off) {
+			out[i] = addr.Addr(s.words[off])
 		}
 	}
 	return out
@@ -259,13 +337,37 @@ func (h *Heap) Refs(a addr.Addr) map[int]addr.Addr {
 
 // CopyObject copies the object headed at src to dst: header (fresh, not
 // forwarded), data words and reference-map bits. Both addresses must be
-// mapped, dst typically in a to-space segment.
+// mapped, dst typically in a to-space segment. The source is staged through
+// a buffer so the two segment locks are never held together (src and dst may
+// even share a segment).
 func (h *Heap) CopyObject(src, dst addr.Addr) {
-	size := h.ObjSize(src)
-	oid := h.ObjOID(src)
-	h.Materialize(dst, oid, size)
+	ss := h.mustSeg(src)
+	ss.mu.RLock()
+	hdr := src.WordOff(ss.Meta.Base)
+	size := int(uint32(ss.words[hdr]))
+	oid := addr.OID(ss.words[hdr+1])
+	words := make([]uint64, size)
+	refs := make([]bool, size)
 	for i := 0; i < size; i++ {
-		h.SetField(dst, i, h.GetField(src, i), h.IsRefField(src, i))
+		off := hdr + HeaderWords + i
+		words[i] = ss.words[off]
+		refs[i] = ss.refMap.Get(off)
+	}
+	ss.mu.RUnlock()
+
+	ds := h.mustSeg(dst)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	materializeLocked(ds, dst, oid, size)
+	doff := dst.WordOff(ds.Meta.Base)
+	for i := 0; i < size; i++ {
+		off := doff + HeaderWords + i
+		ds.words[off] = words[i]
+		if refs[i] {
+			ds.refMap.Set(off)
+		} else {
+			ds.refMap.Clear(off)
+		}
 	}
 }
 
@@ -279,19 +381,31 @@ func (h *Heap) ObjectBytes(a addr.Addr) int {
 
 // Canonical returns this node's canonical address for oid.
 func (h *Heap) Canonical(oid addr.OID) (addr.Addr, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	a, ok := h.objs[oid]
 	return a, ok
 }
 
 // SetCanonical records a as this node's canonical address for oid.
-func (h *Heap) SetCanonical(oid addr.OID, a addr.Addr) { h.objs[oid] = a }
+func (h *Heap) SetCanonical(oid addr.OID, a addr.Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.objs[oid] = a
+}
 
 // DropObject forgets oid's canonical address (the object was reclaimed
 // locally).
-func (h *Heap) DropObject(oid addr.OID) { delete(h.objs, oid) }
+func (h *Heap) DropObject(oid addr.OID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.objs, oid)
+}
 
 // KnownObjects returns every OID with a canonical address on this node.
 func (h *Heap) KnownObjects() []addr.OID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]addr.OID, 0, len(h.objs))
 	for oid := range h.objs {
 		out = append(out, oid)

@@ -72,6 +72,8 @@ const (
 	KMapBunch // bunch replica adopted here: From=serving node, A=bunch, B=segments fetched
 	KSnapshot // observer snapshot taken (marks where a dump was cut)
 	KFatal    // fatal protocol error; the flight-recorder window was dumped
+
+	KGCWorker // one parallel-GC worker finished: A=worker index, B=bunches handled
 )
 
 var kindNames = [...]string{
@@ -110,6 +112,7 @@ var kindNames = [...]string{
 	KMapBunch:      "cl.mapBunch",
 	KSnapshot:      "cl.snapshot",
 	KFatal:         "fatal",
+	KGCWorker:      "gc.worker",
 }
 
 // kindPeers marks the kinds whose From/To fields carry meaning; for every

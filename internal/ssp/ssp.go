@@ -295,12 +295,20 @@ type TableMsg struct {
 	// live non-owned replica whose ownerPtr points at the destination
 	// (§4.3: the new set of exiting ownerPtrs).
 	Exiting []addr.OID
+	// Derivative marks the subset of Exiting whose liveness at the sender
+	// stems solely from inter-bunch scions created on the destination's own
+	// behalf (SrcNode == destination). Such an entering ownerPtr is an echo
+	// of the destination's own stubs: during a group collection that covers
+	// those stubs, the destination may discount it as a root — the §6.2
+	// replica-cycle rule extended to inter-bunch SSPs, which is what lets a
+	// co-mapped cross-node cycle die (§7).
+	Derivative []addr.OID
 }
 
 // WireBytes estimates the message's simulated size for accounting.
 func (m TableMsg) WireBytes() int {
 	const entry = 24
-	return 16 + entry*(len(m.InterStubs)+len(m.IntraStubs)) + 8*len(m.Exiting)
+	return 16 + entry*(len(m.InterStubs)+len(m.IntraStubs)) + 8*len(m.Exiting) + 8*len(m.Derivative)
 }
 
 // ScionMsg asks the node mapping the target bunch to create the scion that
