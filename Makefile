@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos bench bench-json experiments figures examples cover clean
+.PHONY: all build vet test test-short race chaos chaos-crash bench bench-json experiments figures examples cover clean
 
 all: build vet test
 
@@ -28,6 +28,17 @@ chaos:
 	$(GO) run ./cmd/bmxd -chaos -nodes 3 -chaos-steps 400 -seed 1 -loss 0.05 -dup 0.15 -delay 0.2
 	$(GO) run ./cmd/bmxd -chaos -nodes 4 -chaos-steps 300 -seed 42 -dup 0.25 -delay 0.3 -partition-every 50 -partition-for 15
 
+# Crash-recovery chaos: seeded kill/restart schedules across both commit
+# disciplines and every store backend, plus the Go crash suite under the
+# race detector. Each run kills nodes mid-collection on both sides of the
+# flip's log force and audits persistence-by-reachability after restart.
+chaos-crash:
+	$(GO) test -race -run 'Crash|KillRestart|GroupCommit' ./internal/cluster/ ./internal/store/
+	$(GO) run ./cmd/bmxd -chaos-crash -nodes 3 -chaos-steps 600 -seed 1 -sync pertx
+	$(GO) run ./cmd/bmxd -chaos-crash -nodes 3 -chaos-steps 600 -seed 2 -sync flip
+	$(GO) run ./cmd/bmxd -chaos-crash -nodes 3 -chaos-steps 400 -seed 3 -store flatfs -sync flip
+	$(GO) run ./cmd/bmxd -chaos-crash -nodes 3 -chaos-steps 400 -seed 4 -store lsm -sync flip
+
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
 
@@ -35,10 +46,16 @@ bench:
 # machine-readable benchmark summaries (quantile trajectories, msgs/op, GC
 # copy and scan volume) that CI uploads as artifacts and A/B-diffs with
 # `bmxstat -bench`. BENCH_5 is the same workload collected by the parallel
-# GC worker pool.
+# GC worker pool. The BENCH_6 family is the same workload on a persistent
+# store: per-transaction commit vs group commit (syncs-per-flip is the
+# figure that moves), then the flatfs and LSM backends under group commit.
 bench-json:
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -bench-json BENCH_4.json
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -gc-workers 4 -bench-json BENCH_5.json
+	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store mem -sync pertx -bench-json BENCH_6_pertx.json
+	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store mem -sync flip -bench-json BENCH_6_flip.json
+	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store flatfs -sync flip -bench-json BENCH_6_flatfs.json
+	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store lsm -sync flip -bench-json BENCH_6_lsm.json
 
 experiments:
 	$(GO) run ./cmd/bmxbench

@@ -155,11 +155,24 @@ type ChaosConfig = cluster.ChaosConfig
 // cluster converged after heal and drain.
 type ChaosReport = cluster.ChaosReport
 
+// CrashChaosConfig parametrizes a crash-recovery chaos run: a persistent
+// cluster whose nodes are killed mid-collection on a seeded schedule —
+// alternating between the two sides of the flip's log force — then
+// restarted from their stores and audited for persistence-by-reachability.
+type CrashChaosConfig = cluster.CrashChaosConfig
+
+// CrashChaosReport is the outcome of a crash-recovery chaos run; Violations
+// is empty iff every kill/restart preserved the durable state machine.
+type CrashChaosReport = cluster.CrashChaosReport
+
 // New builds a cluster.
 func New(cfg Config) *Cluster { return cluster.New(cfg) }
 
 // RunChaos runs the seeded chaos soak.
 func RunChaos(cfg ChaosConfig) ChaosReport { return cluster.RunChaos(cfg) }
+
+// RunCrashChaos runs the seeded crash-recovery chaos schedule.
+func RunCrashChaos(cfg CrashChaosConfig) CrashChaosReport { return cluster.RunCrashChaos(cfg) }
 
 // DefaultCosts returns the default relative GC cost model.
 func DefaultCosts() Costs { return core.DefaultCosts() }

@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"bmx"
 	"bmx/internal/introspect"
 	"bmx/internal/obs"
+	"bmx/internal/store"
 	"bmx/internal/trace"
 )
 
@@ -52,6 +54,10 @@ func main() {
 		seriesJSON = flag.String("series-json", "", "write the per-round time-series samples as NDJSON to this file (- for stdout)")
 		benchJSON  = flag.String("bench-json", "", "write the run's benchmark summary (quantile trajectories + derived figures) as JSON to this file")
 
+		storeKind = flag.String("store", "", "persistent store backend: mem, flatfs or lsm (empty = no persistence)")
+		storeDir  = flag.String("store-dir", "", "flatfs only: directory for real durable files, one subdirectory per node (empty = simulated durability)")
+		syncMode  = flag.String("sync", "pertx", "RVM commit discipline with -store: pertx (force the log every commit) or flip (group commit, one force per collection flip)")
+
 		chaos      = flag.Bool("chaos", false, "run the seeded chaos soak instead of the workload driver")
 		chaosSteps = flag.Int("chaos-steps", 400, "chaos: workload steps in the fault storm")
 		dup        = flag.Float64("dup", 0, "chaos: message duplication probability")
@@ -59,6 +65,10 @@ func main() {
 		delayTicks = flag.Uint64("delay-ticks", 3, "chaos: ticks a delayed message is held")
 		partEvery  = flag.Int("partition-every", 40, "chaos: cut a random node pair every N steps (0 = never)")
 		partFor    = flag.Int("partition-for", 12, "chaos: heal each cut after N steps")
+
+		crashChaos = flag.Bool("chaos-crash", false, "run the seeded crash-recovery chaos schedule instead of the workload driver (implies -store mem unless set)")
+		crashEvery = flag.Int("crash-every", 0, "chaos-crash: kill a node mid-collection every N steps (0 = default schedule)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "chaos-crash: checkpoint a node's home bunch every N steps (0 = default schedule)")
 	)
 	flag.Parse()
 
@@ -87,6 +97,28 @@ func main() {
 	if *traceJSON {
 		*traceOn = true
 	}
+	groupCommit := false
+	switch *syncMode {
+	case "pertx":
+	case "flip":
+		groupCommit = true
+	default:
+		fmt.Fprintf(os.Stderr, "bmxd: unknown sync mode %q\n", *syncMode)
+		os.Exit(2)
+	}
+	withDisk, factory, err := storeConfig(*storeKind, *storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmxd:", err)
+		os.Exit(2)
+	}
+	if *crashChaos {
+		runCrashChaosCmd(bmx.CrashChaosConfig{
+			Nodes: *nodes, Steps: *chaosSteps, Seed: *seed,
+			CrashEvery: *crashEvery, CheckpointEvery: *ckptEvery,
+			GroupCommit: groupCommit, Store: factory,
+		}, *statsJSON)
+		return
+	}
 	if *chaos {
 		runChaos(chaosOpts{
 			nodes: *nodes, steps: *chaosSteps, seed: *seed, proto: proto,
@@ -103,6 +135,7 @@ func main() {
 		Nodes: *nodes, SegWords: 512, Seed: *seed, LossRate: *loss,
 		SendLatency: 1, CallLatency: 1,
 		Consistency: proto, SegmentGrainTokens: coarse,
+		WithDisk: withDisk, Store: factory, GroupCommit: groupCommit,
 	})
 	if *traceOn {
 		cl.EnableTracing()
@@ -174,6 +207,16 @@ func main() {
 		if _, err := trace.Churn(n0, g, *churn/float64(*rounds), *seed+int64(r)); err != nil {
 			fmt.Fprintln(os.Stderr, "bmxd:", err)
 			os.Exit(1)
+		}
+		// With a store, each round is one committed transaction: under
+		// -sync pertx the commit forces the log here and now; under
+		// -sync flip it only appends, and the next collection's flip
+		// barrier forces the whole batch with a single sync.
+		if withDisk {
+			mutator.Sync()
+			if mutator != n0 {
+				n0.Sync()
+			}
 		}
 		if *gcEvery > 0 && r%*gcEvery == 0 {
 			for i := 0; i < *nodes; i++ {
@@ -278,6 +321,59 @@ func buildGraph(workload string, nd *bmx.Node, b bmx.BunchID, objects int, seed 
 		return trace.Graph{Root: db.Root, Objects: db.Objects}, nil
 	}
 	return trace.Graph{}, fmt.Errorf("unknown workload %q", workload)
+}
+
+// storeConfig maps the -store/-store-dir flags onto the cluster's
+// persistence knobs: whether nodes get disks at all, and which backend
+// factory builds them. A nil factory with disks on selects the cluster's
+// default deterministic mem backend.
+func storeConfig(kind, dir string) (bool, func() store.Store, error) {
+	switch kind {
+	case "":
+		return false, nil, nil
+	case "mem":
+		return true, nil, nil
+	case "flatfs":
+		// One subdirectory per node so two nodes never share a namespace;
+		// with no -store-dir the flatfs durability is simulated in memory.
+		node := 0
+		return true, func() store.Store {
+			node++
+			sub := ""
+			if dir != "" {
+				sub = filepath.Join(dir, fmt.Sprintf("node%d", node))
+			}
+			return store.NewFlatFS(sub)
+		}, nil
+	case "lsm":
+		return true, func() store.Store { return store.NewLSM() }, nil
+	}
+	return false, nil, fmt.Errorf("unknown store backend %q (want mem, flatfs or lsm)", kind)
+}
+
+// runCrashChaosCmd runs the crash-recovery chaos schedule and reports it.
+// Exit status 1 if any kill/restart broke the durable state machine.
+func runCrashChaosCmd(cfg bmx.CrashChaosConfig, statsJSON bool) {
+	rep := bmx.RunCrashChaos(cfg)
+	fmt.Printf("crash chaos: %d nodes, %d steps, seed %d, group commit %v\n",
+		cfg.Nodes, rep.Steps, cfg.Seed, cfg.GroupCommit)
+	fmt.Printf("ops %d, crashes %d (%d before flip sync, %d after), collections %d, checkpoints %d\n",
+		rep.Ops, rep.Crashes, rep.BeforeSync, rep.AfterSync, rep.Collections, rep.Checkpoints)
+	fmt.Printf("log forces %d, objects lost before first durability point %d\n",
+		rep.Syncs, rep.LostAllocs)
+	fmt.Printf("simulated ticks: %d\n", rep.ClockTicks)
+	if statsJSON {
+		statsToJSON(os.Stdout, rep.Stats, nil, nil)
+	}
+	if len(rep.Violations) == 0 {
+		fmt.Println("recovered: every kill/restart preserved persistence-by-reachability")
+		return
+	}
+	fmt.Printf("FAILED: %d violations\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Println("  " + v)
+	}
+	os.Exit(1)
 }
 
 // introspection bundles the live-readout flags: the HTTP server, the

@@ -20,7 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 	"bmx/internal/introspect"
@@ -223,11 +223,15 @@ func printBench(b obs.BenchSummary) {
 	fmt.Printf("-- time series (%d samples, %d ticks) --\n", b.Samples, b.Ticks)
 	fmt.Printf("messages per mutator op: %.2f; gc copy %d words, gc scanned %d objects\n",
 		b.MsgsPerMutatorOp, b.GCCopyWords, b.GCScanObjects)
+	if b.StoreSyncs > 0 {
+		fmt.Printf("durability: %d store syncs, %.2f syncs/flip, %.0f log bytes/collection\n",
+			b.StoreSyncs, b.SyncsPerFlip, b.LogBytesPerCollection)
+	}
 	names := make([]string, 0, len(b.Series))
 	for name := range b.Series {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
 		qs := b.Series[name]
 		f := qs.Final
@@ -261,7 +265,7 @@ func printDiff(a, b obs.BenchSummary, aName, bName string, asJSON bool) {
 	for k := range names {
 		sorted = append(sorted, k)
 	}
-	sort.Strings(sorted)
+	slices.Sort(sorted)
 	var diffs []counterDiff
 	for _, k := range sorted {
 		if a.Counters[k] != b.Counters[k] {
@@ -276,6 +280,11 @@ func printDiff(a, b obs.BenchSummary, aName, bName string, asJSON bool) {
 	fmt.Printf("messages per mutator op: A %.2f vs B %.2f\n", a.MsgsPerMutatorOp, b.MsgsPerMutatorOp)
 	fmt.Printf("gc copy words: A %d vs B %d; gc scanned: A %d vs B %d\n",
 		a.GCCopyWords, b.GCCopyWords, a.GCScanObjects, b.GCScanObjects)
+	if a.StoreSyncs > 0 || b.StoreSyncs > 0 {
+		fmt.Printf("store syncs: A %d vs B %d; syncs/flip: A %.2f vs B %.2f; log bytes/collection: A %.0f vs B %.0f\n",
+			a.StoreSyncs, b.StoreSyncs, a.SyncsPerFlip, b.SyncsPerFlip,
+			a.LogBytesPerCollection, b.LogBytesPerCollection)
+	}
 	fmt.Println()
 	fmt.Println("-- counters that differ --")
 	fmt.Printf("%-32s %12s %12s %10s\n", "counter", "A", "B", "delta")
@@ -295,7 +304,7 @@ func printDiff(a, b obs.BenchSummary, aName, bName string, asJSON bool) {
 	for k := range hnames {
 		hsorted = append(hsorted, k)
 	}
-	sort.Strings(hsorted)
+	slices.Sort(hsorted)
 	for _, k := range hsorted {
 		fa, fb := a.Series[k].Final, b.Series[k].Final
 		fmt.Printf("%-24s p50 %d|%d  p95 %d|%d  p99 %d|%d  max %d|%d\n",

@@ -2,7 +2,7 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 	"bmx/internal/simnet"
@@ -128,7 +128,7 @@ func (sys *RefCountSystem) Audit() (earlyFrees, leaks int) {
 		for o := range h.counts {
 			oids = append(oids, o)
 		}
-		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+		slices.Sort(oids)
 		for _, o := range oids {
 			switch {
 			case h.freed[o] && referenced[o]:

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
@@ -393,7 +393,7 @@ func sortedRootNodes(rooted map[int]bool) []int {
 	for ni := range rooted {
 		out = append(out, ni)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -44,7 +44,17 @@ type Config struct {
 	SendLatency uint64  // simulated ticks per background delivery
 	CallLatency uint64  // simulated ticks per synchronous leg
 	Costs       core.Costs
-	WithDisk    bool // give each node a simulated disk + RVM log
+	WithDisk    bool // give each node a persistent store + RVM log
+	// Store is the per-node backend factory used when persistence is on
+	// (WithDisk, or Store itself non-nil): called once per node. Nil
+	// selects store.NewDisk — the deterministic map-backed mem backend,
+	// byte-identical to the seed behaviour.
+	Store func() store.Store
+	// GroupCommit selects the RVM commit discipline: false (default)
+	// forces the log on every transaction commit, exactly the seed's
+	// behaviour; true defers durability to the collector's flip barrier —
+	// one batched log force per collection.
+	GroupCommit bool
 	// Consistency selects the DSM protocol variant (the paper's entry
 	// consistency by default; see dsm.Protocol). The collector is
 	// identical under every variant.
@@ -138,10 +148,14 @@ type Node struct {
 	// on. Nil-safe and a no-op while tracing is disabled.
 	rec *obs.Recorder
 
-	disk *store.Disk
+	disk store.Store
 	log  *rvm.Log
 	// openTx batches mutations between Sync calls when persistence is on.
 	openTx *rvm.Tx
+	// flipCrash arms a crash at the next collection's durability barrier
+	// (see ArmFlipCrash in crash.go). Guarded by the node lock, like the
+	// rest of the persistence state.
+	flipCrash flipCrashArm
 }
 
 // New builds a cluster.
@@ -172,9 +186,20 @@ func New(cfg Config) *Cluster {
 		d.SetProtocol(cfg.Consistency)
 		col.SetDSM(d)
 		n.col, n.dsm = col, d
-		if cfg.WithDisk {
-			n.disk = store.NewDisk()
+		if cfg.WithDisk || cfg.Store != nil {
+			var base store.Store
+			if cfg.Store != nil {
+				base = cfg.Store()
+			} else {
+				base = store.NewDisk()
+			}
+			// Measure feeds store.* counters and histograms into the
+			// cluster's obs pipeline (and thus /metrics and bmxstat).
+			n.disk = store.Measure(base, cl.net.Stats(), cl.net.Stats().Observer())
 			n.log = rvm.NewLog(n.disk, "rvm-log")
+			n.log.SetCounter(cl.net.Stats().Add)
+			n.log.SetGroupCommit(cfg.GroupCommit)
+			col.SetDurabilityBarrier(n.flipBarrier)
 		}
 		cl.nodes = append(cl.nodes, n)
 		cl.net.Register(id, n.handleAsync, n.handleCall)
@@ -377,7 +402,7 @@ func (n *Node) Collector() *core.Collector { return n.col }
 func (n *Node) DSM() *dsm.Node { return n.dsm }
 
 // Disk returns the node's simulated disk (nil without WithDisk).
-func (n *Node) Disk() *store.Disk { return n.disk }
+func (n *Node) Disk() store.Store { return n.disk }
 
 // lock takes this node's mutex and returns the unlock.
 func (n *Node) lock() func() {

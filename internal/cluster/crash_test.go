@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"bmx/internal/store"
+)
+
+func TestCrashChaosMemPerTx(t *testing.T) {
+	rep := RunCrashChaos(CrashChaosConfig{Seed: 1})
+	requireCrashRun(t, rep)
+}
+
+func TestCrashChaosMemGroupCommit(t *testing.T) {
+	rep := RunCrashChaos(CrashChaosConfig{Seed: 2, GroupCommit: true})
+	requireCrashRun(t, rep)
+}
+
+func TestCrashChaosFlatFS(t *testing.T) {
+	rep := RunCrashChaos(CrashChaosConfig{
+		Seed:  3,
+		Store: func() store.Store { return store.NewFlatFS("") },
+	})
+	requireCrashRun(t, rep)
+}
+
+func TestCrashChaosLSM(t *testing.T) {
+	rep := RunCrashChaos(CrashChaosConfig{
+		Seed:        4,
+		GroupCommit: true,
+		Store:       func() store.Store { return store.NewLSM() },
+	})
+	requireCrashRun(t, rep)
+}
+
+func TestCrashChaosManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(10); seed < 16; seed++ {
+		for _, gc := range []bool{false, true} {
+			rep := RunCrashChaos(CrashChaosConfig{
+				Seed: seed, Steps: 300, CrashEvery: 30, GroupCommit: gc,
+			})
+			if len(rep.Violations) > 0 {
+				t.Errorf("seed %d group=%v: %d violations, first: %s",
+					seed, gc, len(rep.Violations), rep.Violations[0])
+			}
+		}
+	}
+}
+
+// requireCrashRun asserts the run exercised both crash sides and passed the
+// persistence audit.
+func requireCrashRun(t *testing.T, rep CrashChaosReport) {
+	t.Helper()
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Crashes == 0 {
+		t.Fatalf("schedule executed no crashes: %+v", rep)
+	}
+	if rep.BeforeSync == 0 || rep.AfterSync == 0 {
+		t.Errorf("schedule must hit both sides of the flip sync: before=%d after=%d",
+			rep.BeforeSync, rep.AfterSync)
+	}
+	if rep.Collections == 0 || rep.Checkpoints == 0 {
+		t.Errorf("schedule too quiet: collections=%d checkpoints=%d",
+			rep.Collections, rep.Checkpoints)
+	}
+	t.Logf("steps=%d crashes=%d (before=%d after=%d) collections=%d checkpoints=%d lostAllocs=%d",
+		rep.Steps, rep.Crashes, rep.BeforeSync, rep.AfterSync,
+		rep.Collections, rep.Checkpoints, rep.LostAllocs)
+}
+
+// TestCrashChaosDeterministic: with the deterministic mem backend and zero
+// real-world inputs, the same seed must produce the identical run — counter
+// for counter, tick for tick. This is the fingerprint the seed relies on;
+// the store layering must not perturb it.
+func TestCrashChaosDeterministic(t *testing.T) {
+	run := func() CrashChaosReport {
+		return RunCrashChaos(CrashChaosConfig{Seed: 7, Steps: 250, GroupCommit: true})
+	}
+	a, b := run(), run()
+	if len(a.Violations)+len(b.Violations) > 0 {
+		t.Fatalf("violations: %v %v", a.Violations, b.Violations)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		for k, v := range a.Stats {
+			if b.Stats[k] != v {
+				t.Errorf("counter %s: %d vs %d", k, v, b.Stats[k])
+			}
+		}
+	}
+	if a.ClockTicks != b.ClockTicks {
+		t.Errorf("clock ticks: %d vs %d", a.ClockTicks, b.ClockTicks)
+	}
+}
+
+// TestGroupCommitFewerSyncs: the point of group commit — one log force per
+// flip instead of one per transaction commit.
+func TestGroupCommitFewerSyncs(t *testing.T) {
+	syncs := func(group bool) int64 {
+		rep := RunCrashChaos(CrashChaosConfig{Seed: 9, Steps: 300, CrashEvery: 1 << 30, GroupCommit: group})
+		if len(rep.Violations) > 0 {
+			t.Fatalf("group=%v violations: %v", group, rep.Violations)
+		}
+		return rep.Stats["store.syncs"]
+	}
+	perTx, grouped := syncs(false), syncs(true)
+	if grouped >= perTx {
+		t.Errorf("group commit did not reduce syncs: per-tx=%d grouped=%d", perTx, grouped)
+	} else {
+		t.Logf("store syncs: per-tx=%d grouped=%d", perTx, grouped)
+	}
+}
+
+// TestKillRestartCopiedObject pins the GC-copy durability path in
+// isolation: allocate, sync, collect (the object is copied to to-space and
+// its full contents reach the log via the flip barrier), then crash after
+// the barrier and recover. The object must come back at its post-copy
+// canonical address with its data intact.
+func TestKillRestartCopiedObject(t *testing.T) {
+	cl := New(Config{Nodes: 1, SegWords: 64, WithDisk: true, GroupCommit: true})
+	nd := cl.Node(0)
+	b := nd.NewBunch()
+	r, err := nd.Alloc(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.AddRoot(r)
+	if err := nd.AcquireWrite(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.WriteWord(r, 0, 4242); err != nil {
+		t.Fatal(err)
+	}
+	nd.CollectBunch(b) // barrier logs the copy and forces the batch
+	if err := nd.KillRestart(b); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(0)
+	if err := nd.AcquireRead(r); err != nil {
+		t.Fatalf("recovered object not acquirable: %v", err)
+	}
+	got, err := nd.ReadWord(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4242 {
+		t.Fatalf("recovered field 0 = %d, want 4242", got)
+	}
+}
+
+// TestKillRestartDeadStaysDead pins the death-record path: an object whose
+// reclamation reached the log must not be resurrected by recovery, even
+// though checkpoint images and older header records still describe it.
+func TestKillRestartDeadStaysDead(t *testing.T) {
+	cl := New(Config{Nodes: 1, SegWords: 64, WithDisk: true})
+	nd := cl.Node(0)
+	b := nd.NewBunch()
+	r, err := nd.Alloc(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.AddRoot(r)
+	nd.Sync()
+	if err := nd.Checkpoint(b); err != nil {
+		t.Fatal(err)
+	}
+	nd.RemoveRoot(r)
+	nd.CollectBunch(b) // reclaims r; death record committed by the barrier
+	if err := nd.KillRestart(b); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(0)
+	if _, present := nd.Collector().Heap().Canonical(r.OID); present {
+		t.Fatalf("reclaimed object %v resurrected by recovery", r)
+	}
+}
+
+// TestCrashBeforeSyncLosesUnsynced: a crash on the near side of the flip
+// sync must roll the node back to its last durability point — the flip
+// itself leaves no durable trace.
+func TestCrashBeforeSyncLosesUnsynced(t *testing.T) {
+	cl := New(Config{Nodes: 1, SegWords: 64, WithDisk: true, GroupCommit: true})
+	nd := cl.Node(0)
+	b := nd.NewBunch()
+	r, err := nd.Alloc(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.AddRoot(r)
+	if err := nd.AcquireWrite(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.WriteWord(r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	nd.CollectBunch(b) // durability point: value 1 is forced
+	if err := nd.AcquireWrite(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.WriteWord(r, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	nd.ArmFlipCrash(CrashBeforeFlipSync)
+	nd.CollectBunch(b) // barrier skipped: value 2 never committed
+	if !nd.FlipCrashFired() {
+		t.Fatal("armed crash did not fire")
+	}
+	if err := nd.KillRestart(b); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(0)
+	if err := nd.AcquireRead(r); err != nil {
+		t.Fatalf("object lost entirely: %v", err)
+	}
+	got, err := nd.ReadWord(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("recovered field 0 = %d, want pre-crash durable value 1", got)
+	}
+}

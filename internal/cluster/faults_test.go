@@ -3,7 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"testing"
 
@@ -34,7 +34,7 @@ func sspFingerprint(cl *Cluster, oids []addr.OID) string {
 			for k := range t.IntraScions {
 				lines = append(lines, fmt.Sprintf("  intraScion %v", k))
 			}
-			sort.Strings(lines)
+			slices.Sort(lines)
 			fmt.Fprintf(&sb, " bunch %v\n%s\n", b, strings.Join(lines, "\n"))
 		}
 		for _, o := range oids {

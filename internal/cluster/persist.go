@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"slices"
+	"strings"
 
 	"bmx/internal/addr"
+	"bmx/internal/core"
 	"bmx/internal/mem"
 	"bmx/internal/rvm"
 )
@@ -22,6 +25,14 @@ func (n *Node) logAllocation(oid addr.OID) {
 	if n.log == nil {
 		return
 	}
+	n.logHeader(n.tx(), oid)
+}
+
+// logHeader records oid's header words at its current canonical address.
+// Recovery materializes the object there: a header record is how a fresh
+// allocation reaches the redo log (its field values follow as individual
+// logWrite records when the mutator stores them).
+func (n *Node) logHeader(tx *rvm.Tx, oid addr.OID) {
 	heap := n.col.Heap()
 	a, ok := heap.Canonical(oid)
 	if !ok {
@@ -33,7 +44,74 @@ func (n *Node) logAllocation(oid addr.OID) {
 	for i := range hdr {
 		hdr[i] = heap.Word(a.AddWords(i))
 	}
-	n.tx().SetRange(seg.Meta.ID, off, hdr)
+	tx.SetRange(seg.Meta.ID, seg.Meta.Gen, off, hdr)
+}
+
+// logObject records oid's complete contents — header, data words and the
+// fields' reference-map bits — at its current canonical address. This is
+// the durable transcript of a GC copy: the object's earlier log records
+// all name its from-space address, so the to-space copy must reach the
+// log whole or a recovery would resolve the canonical address to
+// uninitialized to-space. The record's address IS the object's location;
+// the last header in log order wins.
+func (n *Node) logObject(tx *rvm.Tx, oid addr.OID) {
+	heap := n.col.Heap()
+	a, ok := heap.Canonical(oid)
+	if !ok {
+		return
+	}
+	seg := heap.SegAt(a)
+	off := a.WordOff(seg.Meta.Base)
+	size := heap.ObjSize(a)
+	words := make([]uint64, mem.HeaderWords+size)
+	for i := range words {
+		words[i] = heap.Word(a.AddWords(i))
+	}
+	tx.SetRange(seg.Meta.ID, seg.Meta.Gen, off, words)
+	for i := 0; i < size; i++ {
+		tx.SetRefBit(seg.Meta.ID, seg.Meta.Gen, off+mem.HeaderWords+i, heap.IsRefField(a, i))
+	}
+}
+
+// flipBarrier is the collector's durability barrier (§8, O'Toole et al.):
+// the BGC calls it from its locked flip bracket, once per collection. It
+// logs what the flip changed — the to-space headers of copied objects and
+// a death record per reclaimed object — commits, and in group-commit mode
+// forces the whole batch with a single sync. Runs with the node lock held
+// (the flip bracket takes it), so it touches openTx like any other
+// persistence path.
+//
+// A crash armed via ArmFlipCrash fires here: CrashBeforeFlipSync skips the
+// barrier entirely (the flip happened in memory but nothing about it
+// reached the durable log), CrashAfterFlipSync runs the full barrier
+// first. The actual kill is executed by the chaos driver after the
+// collection returns; see crash.go.
+func (n *Node) flipBarrier(fl core.FlipLog) {
+	if n.log == nil {
+		return
+	}
+	if n.flipCrash == CrashBeforeFlipSync {
+		n.flipCrash = crashFired
+		return
+	}
+	if n.openTx != nil || len(fl.Copied) > 0 || len(fl.Dead) > 0 {
+		tx := n.tx()
+		for _, o := range fl.Copied {
+			n.logObject(tx, o)
+		}
+		for _, o := range fl.Dead {
+			tx.SetDead(o)
+		}
+		n.openTx.Commit()
+		n.openTx = nil
+	}
+	if n.log.GroupCommit() {
+		n.log.Barrier()
+	}
+	n.cl.Stats().Add("cluster.flipBarriers", 1)
+	if n.flipCrash == CrashAfterFlipSync {
+		n.flipCrash = crashFired
+	}
 }
 
 // logWrite records one mutated field, including its reference-map bit.
@@ -46,8 +124,8 @@ func (n *Node) logWrite(oid addr.OID, objAddr addr.Addr, field int) {
 	fa := heap.DataAddr(objAddr, field)
 	seg := heap.SegAt(fa)
 	off := fa.WordOff(seg.Meta.Base)
-	n.tx().SetRange(seg.Meta.ID, off, []uint64{heap.Word(fa)})
-	n.tx().SetRefBit(seg.Meta.ID, off, heap.IsRefField(objAddr, field))
+	n.tx().SetRange(seg.Meta.ID, seg.Meta.Gen, off, []uint64{heap.Word(fa)})
+	n.tx().SetRefBit(seg.Meta.ID, seg.Meta.Gen, off, heap.IsRefField(objAddr, field))
 }
 
 func (n *Node) tx() *rvm.Tx {
@@ -90,11 +168,30 @@ func (n *Node) Checkpoint(b addr.BunchID) error {
 			rvm.WriteImage(n.disk, s.Export())
 		}
 	}
+	// The live-set names the objects these images legitimately contain.
+	// Headers of already-reclaimed objects linger in from-space images
+	// until the segments are recycled; recovery uses the live-set to leave
+	// such corpses dead once the truncation below discards their death
+	// records.
+	var liveOIDs []addr.OID
+	for _, o := range heap.KnownObjects() {
+		if n.cl.dir.BunchOf(o) == b {
+			liveOIDs = append(liveOIDs, o)
+		}
+	}
+	slices.Sort(liveOIDs)
+	rvm.WriteLiveSet(n.disk, b, liveOIDs)
 	// Remove files of segments the bunch no longer has (reclaimed
 	// from-space): address recycling reaches secondary storage too (§1).
 	// The judgement uses the bunch recorded IN the image — the segment's
 	// current metadata may already belong to the range's next tenant.
 	for _, name := range n.disk.Files() {
+		if strings.HasSuffix(name, ".tmp") {
+			// A crash-atomic install interrupted before its swap; the
+			// canonical file is intact, so the orphan is garbage.
+			n.disk.Remove(name)
+			continue
+		}
 		var id uint32
 		if _, err := fmt.Sscanf(name, "segimg-%d", &id); err != nil {
 			continue
@@ -124,6 +221,11 @@ func (n *Node) Crash(b addr.BunchID) error {
 	for _, meta := range n.cl.dir.Segments(b) {
 		heap.UnmapSegment(meta.ID)
 	}
+	// The collector's cached allocation segment points at a replica the
+	// unmap just orphaned; allocating through it would create objects the
+	// heap (and the redo log) can never see. Unsent location manifests die
+	// with the process as well.
+	n.col.CrashBunch(b)
 	for _, o := range n.dsm.ObjectsInBunch(b) {
 		n.dsm.Forget(o)
 	}
@@ -144,20 +246,53 @@ func (n *Node) RecoverBunch(b addr.BunchID) error {
 	for _, meta := range n.cl.dir.Segments(b) {
 		img, ok := rvm.ReadImage(n.disk, meta.ID)
 		if !ok {
+			// No checkpoint image: the segment left no durable trace of
+			// its own (a to-space segment from a recent flip, say). It is
+			// still part of the bunch's address range, so recovery maps
+			// it back empty — the log replay below repopulates whatever
+			// was committed, and the allocator's frontier may point here.
+			heap.MapSegment(meta)
 			continue
 		}
-		if img.Bunch != b {
+		if img.Bunch != b || img.Gen != meta.Gen {
 			// The segment's address range was recycled: this backing file
-			// belongs to a previous tenant and must not be replayed here.
+			// belongs to a previous tenant — possibly of the same bunch,
+			// which only the tenancy generation can tell — and must not be
+			// replayed here. The range itself is current, so it comes back
+			// empty.
+			heap.MapSegment(meta)
 			continue
 		}
 		seg := heap.MapSegment(meta)
 		seg.Import(img)
 	}
-	// Replay committed mutations logged after the checkpoint.
-	for _, rec := range n.log.Recover() {
+	// Replay committed mutations logged after the checkpoint. Death
+	// records are collected first: a death is final (OIDs are never
+	// recycled), and a reclaimed object must stay dead no matter what an
+	// earlier checkpoint image or header record says — resurrecting
+	// collected garbage would break persistence-by-reachability (§7).
+	recs := n.log.Recover()
+	dead := make(map[addr.OID]bool)
+	for _, rec := range recs {
+		if rec.Dead {
+			dead[rec.OID] = true
+		}
+	}
+	// The checkpoint live-set and the log's replayed headers together name
+	// every object the durable store vouches for; any other header found
+	// in an image is a corpse (reclaimed before the last checkpoint, death
+	// record truncated away with the log).
+	ckptLive, _ := rvm.ReadLiveSet(n.disk, b)
+	logHeaders := make(map[addr.OID]bool)
+	for _, rec := range recs {
+		if rec.Dead {
+			continue
+		}
 		meta := n.cl.dir.Allocator().Meta(rec.Seg)
-		if meta == nil || meta.Bunch != b {
+		if meta == nil || meta.Bunch != b || meta.Gen != rec.Gen {
+			// Unknown segment, another bunch's segment, or a record from
+			// an earlier tenancy of a recycled range: replaying it would
+			// corrupt whatever lives there now.
 			continue
 		}
 		seg := heap.MapSegment(meta)
@@ -169,17 +304,38 @@ func (n *Node) RecoverBunch(b addr.BunchID) error {
 		for i, w := range rec.Words {
 			heap.SetWord(base.AddWords(i), w)
 		}
-		// A logged object header must reappear in the object map.
-		if len(rec.Words) == mem.HeaderWords {
-			if info, ok := n.cl.dir.Object(addr.OID(rec.Words[1])); ok && info.AllocAddr == base {
+		// A logged object header must reappear in the object map at the
+		// record's address — that is where the object lived when the
+		// header was logged, whether by allocation (header only) or by a
+		// GC copy (full contents). The canonical address follows the last
+		// header in log order, so a copied object resolves to its
+		// to-space location even when the from-space image also survived
+		// on disk.
+		if len(rec.Words) >= mem.HeaderWords {
+			oid := addr.OID(rec.Words[1])
+			if info, ok := n.cl.dir.Object(oid); ok && !dead[oid] {
+				logHeaders[oid] = true
 				heap.Materialize(base, info.OID, info.Size)
+				// The record is the object's entire durable state at this
+				// log position: words beyond what it carries are zero (a
+				// header-only record is a fresh allocation). Without this,
+				// records of the range's previous same-bunch tenant —
+				// which replayed above, earlier in the log — would bleed
+				// into fields the new tenant never wrote.
+				for i := 0; i < info.Size; i++ {
+					heap.SetWord(base.AddWords(mem.HeaderWords+i), 0)
+					seg.SetRefBit(rec.Off+mem.HeaderWords+i, false)
+				}
 				for i, w := range rec.Words {
 					heap.SetWord(base.AddWords(i), w)
 				}
+				heap.SetCanonical(oid, base)
 			}
 		}
 	}
 	// Rebuild canonical addresses and protocol state from the headers.
+	// Objects whose death was logged are dropped, not registered: the
+	// collector reclaimed them before the crash, and recovery must agree.
 	for _, meta := range n.cl.dir.Segments(b) {
 		seg := heap.Seg(meta.ID)
 		if seg == nil {
@@ -190,10 +346,41 @@ func (n *Node) RecoverBunch(b addr.BunchID) error {
 				continue
 			}
 			oid := heap.ObjOID(a)
-			if _, known := heap.Canonical(oid); known {
+			_, known := heap.Canonical(oid)
+			// A header vouched for by neither the checkpoint live-set nor
+			// the replayed log suffix is a corpse: the object died before
+			// the last checkpoint (its death record was truncated away,
+			// but the bytes survived in a from-space image). It gets the
+			// same treatment as a logged death.
+			if dead[oid] || (!ckptLive[oid] && !logHeaders[oid]) {
+				if !known {
+					heap.SetCanonical(oid, a)
+				}
+				heap.DropObject(oid)
+				continue
+			}
+			if known {
 				continue
 			}
 			heap.SetCanonical(oid, a)
+		}
+	}
+	// Registration runs after every segment settled its canonical
+	// addresses (the recovering node owns what it recovers, matching the
+	// one-process-per-node prototype simplification of §8).
+	for _, meta := range n.cl.dir.Segments(b) {
+		seg := heap.Seg(meta.ID)
+		if seg == nil {
+			continue
+		}
+		for _, a := range seg.Objects() {
+			if heap.Forwarded(a) {
+				continue
+			}
+			oid := heap.ObjOID(a)
+			if can, ok := heap.Canonical(oid); !ok || can != a {
+				continue
+			}
 			if !n.dsm.Knows(oid) {
 				n.dsm.RegisterNew(oid, b)
 			}

@@ -126,6 +126,24 @@ type Collector struct {
 	copyHist   *obs.Histogram // words moved per evacuated object
 	scanHist   *obs.Histogram // objects scanned per collection
 	phaseHists map[string]*obs.Histogram
+
+	// durBarrier, when set, is the node's durability barrier: collect()
+	// invokes it from the final locked flip bracket, after reclaim and
+	// table rebuild, with what the flip changed. The persistence layer
+	// logs the copied headers and the deaths and forces the RVM log with
+	// one group-commit sync — the "single batched log force per flip" of
+	// §8 / O'Toole et al.
+	durBarrier func(FlipLog)
+}
+
+// FlipLog describes what one collection flip changed, for the durability
+// barrier: which owned objects were copied into to-space and which objects
+// were reclaimed as dead. Both slices are in deterministic (sorted-trace)
+// order.
+type FlipLog struct {
+	Bunches []addr.BunchID
+	Copied  []addr.OID
+	Dead    []addr.OID
 }
 
 // gcPhases names the per-phase simulated-tick histograms a collection feeds.
@@ -161,6 +179,12 @@ func NewCollector(node addr.NodeID, heap *mem.Heap, dir *Directory, net transpor
 // SetDSM wires the protocol engine (constructed after the collector, since
 // the engine needs the collector as its Hooks).
 func (c *Collector) SetDSM(d *dsm.Node) { c.dsm = d }
+
+// SetDurabilityBarrier installs the flip durability hook. Install it at
+// node construction, before any collection runs; the hook is called with
+// the collector's locked flip bracket held, so it must not re-enter the
+// collector or take the node lock.
+func (c *Collector) SetDurabilityBarrier(f func(FlipLog)) { c.durBarrier = f }
 
 // SetReplicateInterSSPs enables the A1 ablation: on ownership transfer,
 // replicate inter-bunch SSPs at the new owner instead of creating an
@@ -212,6 +236,36 @@ func (c *Collector) Replica(b addr.BunchID) *Replica {
 	c.reps[b] = rep
 	c.mappedCache = nil
 	return rep
+}
+
+// CrashBunch discards this node's volatile collector state for bunch b
+// after a simulated process crash. The cached allocation segment must go:
+// its *mem.Segment replica was orphaned when the crash unmapped the bunch,
+// so an allocation through the stale pointer would write a header the heap
+// can never see again — the object would be unreadable, uncopyable and
+// invisible to the redo log from birth. Queued-but-unsent location
+// manifests go too: a dead process's outgoing buffers die with it, and the
+// ones produced by a flip that never reached its durability barrier name
+// to-space addresses that recovery just rewound.
+func (c *Collector) CrashBunch(b addr.BunchID) {
+	rep := c.Replica(b)
+	rep.segMu.Lock()
+	rep.allocSeg = nil
+	rep.segMu.Unlock()
+	rep.gcActive = false
+	rep.writeLog = make(map[addr.OID]bool)
+	c.locMu.Lock()
+	for nd, q := range c.pending {
+		for o, man := range q {
+			if man.Bunch == b {
+				delete(q, o)
+			}
+		}
+		if len(q) == 0 {
+			delete(c.pending, nd)
+		}
+	}
+	c.locMu.Unlock()
 }
 
 // HasReplica reports whether this node tracks bunch b.

@@ -305,6 +305,7 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 	// entirely before the copy (license revoked, object skipped) or blocks
 	// on the stripe until the copy lands and then grants the new location.
 	copyWatch := transport.StartWatch(c.net.Clock())
+	var copied []addr.OID
 	for _, o := range sortedLiveOIDs(live) {
 		if !ownedSnap[o] {
 			continue
@@ -318,6 +319,7 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 			continue // already in to-space (e.g. allocated during this GC)
 		}
 		if man, moved := c.moveOwnedObjectChecked(o); moved {
+			copied = append(copied, o)
 			st.Copied++
 			st.CopiedWords += man.Size + mem.HeaderWords
 			c.copyHist.Observe(int64(man.Size))
@@ -377,6 +379,7 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 		// ---- Reclaim dead objects locally -------------------------------
 		reclaimWatch := transport.StartWatch(c.net.Clock())
 		deadByManager := make(map[addr.NodeID][]addr.OID)
+		var deadOIDs []addr.OID
 		for _, b := range bunches {
 			for _, o := range c.knownInBunch(b) {
 				if live[o] != notLive {
@@ -419,7 +422,12 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 				case c.dsm.IsOwner(o):
 					// The owner reclaims last: no entering ownerPtrs, no
 					// roots, no scions — the object is globally dead. Tell
-					// the manager to drop its forwarding stub.
+					// the manager to drop its forwarding stub. The directory
+					// record stays: a liveness report still in flight may
+					// yet re-fault the object from the durable store, and
+					// the record anchors that route. Keeping dead objects
+					// out of crash recovery is the checkpoint live-set's
+					// job, not the directory's.
 					c.dsm.Forget(o)
 					if manager != addr.NoNode && manager != c.node {
 						deadByManager[manager] = append(deadByManager[manager], o)
@@ -436,6 +444,7 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 				default:
 					c.dsm.Forget(o)
 				}
+				deadOIDs = append(deadOIDs, o)
 				st.Dead++
 				c.stats().Add("core.gc.dead", 1)
 			}
@@ -457,6 +466,14 @@ func (c *Collector) collect(bunches []addr.BunchID, opts CollectOpts, group bool
 			rep.gcActive = false
 		}
 		c.phaseHists["tables"].Observe(int64(tablesWatch.Elapsed()))
+
+		// ---- Durability barrier (§8): one batched log force per flip ----
+		// Still inside the locked flip bracket, so a crash injected on
+		// either side of this call models a kill exactly before or after
+		// the flip's sync — the two windows the crash chaos mode probes.
+		if c.durBarrier != nil {
+			c.durBarrier(FlipLog{Bunches: bunches, Copied: copied, Dead: deadOIDs})
+		}
 	})
 
 	for _, s := range live {

@@ -41,6 +41,11 @@ type SegmentMeta struct {
 	Base  addr.Addr
 	Bunch addr.BunchID
 	Words int
+	// Gen counts tenancies of this address range: recycling bumps it, so
+	// durable state stamped with an older generation — a backing file
+	// written before the range was reused — is recognizably stale even
+	// when both tenancies belong to the same bunch.
+	Gen uint32
 }
 
 // Limit returns the first address past the segment.
@@ -85,6 +90,7 @@ func (a *Allocator) NewSegment(b addr.BunchID) *SegmentMeta {
 		a.free = a.free[:n-1]
 		m := a.metas[id]
 		m.Bunch = b
+		m.Gen++
 		a.recycled++
 		return m
 	}
@@ -248,7 +254,10 @@ type SegImage struct {
 	// taken: segment IDs are recycled (§1's address recycling), so a
 	// stale backing file must never be replayed into the range's next
 	// tenant.
-	Bunch    addr.BunchID
+	Bunch addr.BunchID
+	// Gen is the range's tenancy generation at capture time; recovery
+	// rejects images whose generation predates the segment's current one.
+	Gen      uint32
 	AllocOff int
 	Words    []uint64
 	ObjBits  []uint64
@@ -269,6 +278,7 @@ func (s *Segment) Export() SegImage {
 	return SegImage{
 		ID:       s.Meta.ID,
 		Bunch:    s.Meta.Bunch,
+		Gen:      s.Meta.Gen,
 		AllocOff: s.allocOff,
 		Words:    words,
 		ObjBits:  append([]uint64(nil), s.objMap.bits...),

@@ -1,8 +1,9 @@
 package obs
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 )
@@ -144,17 +145,17 @@ func HotObjects(evs []Event, n int) []HotObject {
 	for _, h := range agg {
 		out = append(out, *h)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Acquires != out[j].Acquires {
-			return out[i].Acquires > out[j].Acquires
+	slices.SortFunc(out, func(a, b HotObject) int {
+		if c := cmp.Compare(b.Acquires, a.Acquires); c != 0 {
+			return c
 		}
-		if out[i].Hops != out[j].Hops {
-			return out[i].Hops > out[j].Hops
+		if c := cmp.Compare(b.Hops, a.Hops); c != 0 {
+			return c
 		}
-		if out[i].Events != out[j].Events {
-			return out[i].Events > out[j].Events
+		if c := cmp.Compare(b.Events, a.Events); c != 0 {
+			return c
 		}
-		return out[i].OID < out[j].OID
+		return cmp.Compare(a.OID, b.OID)
 	})
 	if n > 0 && len(out) > n {
 		out = out[:n]

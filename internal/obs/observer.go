@@ -1,10 +1,11 @@
 package obs
 
 import (
+	"cmp"
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -121,7 +122,7 @@ func (o *Observer) Histograms() []*Histogram {
 	for _, h := range o.hists {
 		out = append(out, h)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	slices.SortFunc(out, func(a, b *Histogram) int { return cmp.Compare(a.name, b.name) })
 	return out
 }
 
@@ -133,7 +134,7 @@ func (o *Observer) recorders() []*Recorder {
 	for _, r := range o.recs {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].node < out[j].node })
+	slices.SortFunc(out, func(a, b *Recorder) int { return cmp.Compare(a.node, b.node) })
 	return out
 }
 
@@ -144,7 +145,7 @@ func (o *Observer) Events() []Event {
 	for _, r := range o.recorders() {
 		out = append(out, r.Window()...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	slices.SortFunc(out, func(a, b Event) int { return cmp.Compare(a.Seq, b.Seq) })
 	return out
 }
 

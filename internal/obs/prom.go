@@ -4,7 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -40,7 +40,7 @@ func WritePromText(w io.Writer, counters map[string]int64, hists []HistSnapshot)
 	for k := range counters {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		n := promName(k)
 		fmt.Fprintf(bw, "# HELP %s Cumulative count of %s events.\n", n, k)

@@ -3,7 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -194,6 +194,13 @@ type BenchSummary struct {
 	MsgsPerMutatorOp float64 `json:"msgs_per_mutator_op"`
 	GCCopyWords      int64   `json:"gc_copy_words"`
 	GCScanObjects    int64   `json:"gc_scan_objects"`
+	// StoreSyncs and the two per-collection ratios are the §8 durability
+	// figures: group commit's whole point is one log force per flip, so
+	// syncs-per-flip ≈ 1 under group commit and rises with per-transaction
+	// commit; log bytes per collection sizes the flip's durable transcript.
+	StoreSyncs            int64   `json:"store_syncs"`
+	SyncsPerFlip          float64 `json:"syncs_per_flip"`
+	LogBytesPerCollection float64 `json:"log_bytes_per_collection"`
 }
 
 // Bench condenses the retained window into the benchmark artifact.
@@ -226,7 +233,7 @@ func BenchOf(samples []Sample) BenchSummary {
 	for name := range names {
 		sorted = append(sorted, name)
 	}
-	sort.Strings(sorted)
+	slices.Sort(sorted)
 	for _, name := range sorted {
 		var qs QuantileSeries
 		for _, p := range samples {
@@ -252,6 +259,11 @@ func BenchOf(samples []Sample) BenchSummary {
 	}
 	if h, ok := b.Series["gc.scan.objects"]; ok {
 		b.GCScanObjects = h.Final.Sum
+	}
+	b.StoreSyncs = b.Counters["store.syncs"]
+	if runs := b.Counters["core.gc.runs"]; runs > 0 {
+		b.SyncsPerFlip = float64(b.StoreSyncs) / float64(runs)
+		b.LogBytesPerCollection = float64(b.Counters["rvm.log.bytes"]) / float64(runs)
 	}
 	return b
 }

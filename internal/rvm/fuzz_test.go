@@ -25,8 +25,8 @@ func FuzzRecover(f *testing.F) {
 	d := store.NewDisk()
 	l := NewLog(d, "log")
 	tx := l.Begin()
-	tx.SetRange(3, 10, []uint64{1, 2, 3})
-	tx.SetRefBit(3, 10, true)
+	tx.SetRange(3, 0, 10, []uint64{1, 2, 3})
+	tx.SetRefBit(3, 0, 10, true)
 	tx.Commit()
 	good, _ := d.Read("log")
 	f.Add(good)

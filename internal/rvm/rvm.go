@@ -9,6 +9,14 @@
 // Following O'Toole et al. (§8), the collector's from-space and to-space are
 // each backed by a (simulated) file, and changes to mapped segments reach
 // disk atomically through this log.
+//
+// The log supports two commit disciplines. In the classic per-transaction
+// mode every Commit forces the log (one sync per transaction). In group
+// commit mode (SetGroupCommit) Commit only appends — records and commit
+// markers accumulate in the page cache — and an explicit Barrier forces the
+// whole batch with a single sync. The collector calls Barrier once from its
+// locked flip bracket, so a collection costs one forced write no matter how
+// many objects moved or died.
 package rvm
 
 import (
@@ -25,33 +33,77 @@ import (
 // Record is one logged range update: words written at a word offset within a
 // segment.
 type Record struct {
-	Tx    uint64
-	Seg   addr.SegID
+	Tx  uint64
+	Seg addr.SegID
+	// Gen is the segment range's tenancy generation when the record was
+	// written. Address recycling can hand the same segment ID to a new
+	// tenant — even within the same bunch — and a record from the old
+	// tenancy must not replay into the new one.
+	Gen   uint32
 	Off   int
 	Words []uint64
 	// RefBit marks a reference-map update record: Words[0] is 0 or 1 and
 	// Off is the word offset whose reference-map bit takes that value.
 	RefBit bool
+	// Dead marks an object-reclaim record: OID was garbage and was
+	// reclaimed by a collection flip. Recovery must not resurrect it.
+	Dead bool
+	OID  addr.OID
 }
 
 const (
 	tagRange  byte = 'R'
 	tagRefBit byte = 'B'
+	tagDead   byte = 'D'
 	tagCommit byte = 'C'
 )
 
-// Log is a node's recoverable-memory redo log backed by one disk file.
+// Log is a node's recoverable-memory redo log backed by one store file.
 type Log struct {
-	disk *store.Disk
+	st   store.Store
 	name string
 
-	mu     sync.Mutex
-	nextTx uint64
+	mu      sync.Mutex
+	nextTx  uint64
+	group   bool
+	counter func(name string, d int64)
 }
 
-// NewLog opens (or creates) the log named name on disk.
-func NewLog(disk *store.Disk, name string) *Log {
-	return &Log{disk: disk, name: name, nextTx: 1}
+// NewLog opens (or creates) the log named name on st.
+func NewLog(st store.Store, name string) *Log {
+	return &Log{st: st, name: name, nextTx: 1}
+}
+
+// SetGroupCommit selects the commit discipline: with on, Commit appends
+// without forcing and durability waits for the next Barrier.
+func (l *Log) SetGroupCommit(on bool) {
+	l.mu.Lock()
+	l.group = on
+	l.mu.Unlock()
+}
+
+// GroupCommit reports the current commit discipline.
+func (l *Log) GroupCommit() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.group
+}
+
+// SetCounter installs a sink for the log's flat counters (rvm.log.bytes,
+// rvm.log.commits, rvm.log.barriers). A nil sink disables them.
+func (l *Log) SetCounter(f func(name string, d int64)) {
+	l.mu.Lock()
+	l.counter = f
+	l.mu.Unlock()
+}
+
+func (l *Log) count(name string, d int64) {
+	l.mu.Lock()
+	f := l.counter
+	l.mu.Unlock()
+	if f != nil {
+		f(name, d)
+	}
 }
 
 // Begin starts a transaction.
@@ -63,18 +115,28 @@ func (l *Log) Begin() *Tx {
 	return &Tx{log: l, id: id}
 }
 
+// Barrier forces everything appended so far — the group-commit durability
+// point. The collector calls this once per collection flip, from its locked
+// flip bracket; after Barrier returns, every transaction committed before
+// it survives any crash. In per-transaction mode it is a harmless extra
+// force.
+func (l *Log) Barrier() {
+	l.st.Sync(l.name)
+	l.count("rvm.log.barriers", 1)
+}
+
 // Truncate discards the log contents, typically after a checkpoint has made
 // the logged state durable elsewhere.
 func (l *Log) Truncate() {
-	l.disk.Write(l.name, nil)
-	l.disk.Sync(l.name)
+	l.st.Write(l.name, nil)
+	l.st.Sync(l.name)
 }
 
 // Recover scans the durable log and returns the records of committed
 // transactions in log order. A torn tail (partially written final record)
 // terminates the scan, mirroring a real redo log.
 func (l *Log) Recover() []Record {
-	data, ok := l.disk.ReadDurable(l.name)
+	data, ok := l.st.ReadDurable(l.name)
 	if !ok {
 		return nil
 	}
@@ -88,9 +150,9 @@ func (l *Log) Recover() []Record {
 			committed[r.Tx] = true
 		}
 	})
-	// Second pass: collect committed range records in order.
+	// Second pass: collect committed records in order.
 	forEachRecord(data, func(tag byte, r Record) {
-		if (tag == tagRange || tag == tagRefBit) && committed[r.Tx] {
+		if tag != tagCommit && committed[r.Tx] {
 			records = append(records, r)
 		}
 	})
@@ -111,9 +173,18 @@ func forEachRecord(data []byte, f func(tag byte, r Record)) {
 		switch tag {
 		case tagCommit:
 			f(tagCommit, Record{Tx: tx})
+		case tagDead:
+			var oid uint64
+			if err := binary.Read(buf, binary.LittleEndian, &oid); err != nil {
+				return // torn record: stop
+			}
+			f(tagDead, Record{Tx: tx, Dead: true, OID: addr.OID(oid)})
 		case tagRange, tagRefBit:
-			var seg, off, n uint32
+			var seg, gen, off, n uint32
 			if err := binary.Read(buf, binary.LittleEndian, &seg); err != nil {
+				return
+			}
+			if err := binary.Read(buf, binary.LittleEndian, &gen); err != nil {
 				return
 			}
 			if err := binary.Read(buf, binary.LittleEndian, &off); err != nil {
@@ -130,7 +201,7 @@ func forEachRecord(data []byte, f func(tag byte, r Record)) {
 				return // torn record: stop
 			}
 			f(tag, Record{
-				Tx: tx, Seg: addr.SegID(seg), Off: int(off),
+				Tx: tx, Seg: addr.SegID(seg), Gen: gen, Off: int(off),
 				Words: words, RefBit: tag == tagRefBit,
 			})
 		default:
@@ -153,37 +224,51 @@ type Tx struct {
 func (tx *Tx) ID() uint64 { return tx.id }
 
 // SetRange records that words were written at word offset off of segment
-// seg.
-func (tx *Tx) SetRange(seg addr.SegID, off int, words []uint64) {
-	tx.record(tagRange, seg, off, words)
+// seg, whose range is currently on tenancy generation gen.
+func (tx *Tx) SetRange(seg addr.SegID, gen uint32, off int, words []uint64) {
+	tx.record(tagRange, seg, gen, off, words)
 }
 
 // SetRefBit records that the reference-map bit at word offset off of
-// segment seg now has value v (the reference map is part of the recoverable
-// bunch state, §8).
-func (tx *Tx) SetRefBit(seg addr.SegID, off int, v bool) {
+// segment seg (tenancy generation gen) now has value v (the reference map
+// is part of the recoverable bunch state, §8).
+func (tx *Tx) SetRefBit(seg addr.SegID, gen uint32, off int, v bool) {
 	w := uint64(0)
 	if v {
 		w = 1
 	}
-	tx.record(tagRefBit, seg, off, []uint64{w})
+	tx.record(tagRefBit, seg, gen, off, []uint64{w})
 }
 
-func (tx *Tx) record(tag byte, seg addr.SegID, off int, words []uint64) {
+// SetDead records that oid was reclaimed as garbage by a collection flip.
+// On recovery the object must stay dead: a logged death overrides any
+// earlier checkpoint or header record for the same object.
+func (tx *Tx) SetDead(oid addr.OID) {
+	if tx.done {
+		panic("rvm: record on a finished transaction")
+	}
+	tx.buf.WriteByte(tagDead)
+	binary.Write(&tx.buf, binary.LittleEndian, tx.id)
+	binary.Write(&tx.buf, binary.LittleEndian, uint64(oid))
+}
+
+func (tx *Tx) record(tag byte, seg addr.SegID, gen uint32, off int, words []uint64) {
 	if tx.done {
 		panic("rvm: record on a finished transaction")
 	}
 	tx.buf.WriteByte(tag)
 	binary.Write(&tx.buf, binary.LittleEndian, tx.id)
 	binary.Write(&tx.buf, binary.LittleEndian, uint32(seg))
+	binary.Write(&tx.buf, binary.LittleEndian, gen)
 	binary.Write(&tx.buf, binary.LittleEndian, uint32(off))
 	binary.Write(&tx.buf, binary.LittleEndian, uint32(len(words)))
 	binary.Write(&tx.buf, binary.LittleEndian, words)
 }
 
-// Commit appends the transaction's records and a commit marker to the log
-// and forces the log to disk. After Commit returns, the updates survive any
-// crash.
+// Commit appends the transaction's records and a commit marker to the log.
+// In per-transaction mode the log is forced before returning, so the
+// updates survive any crash; in group-commit mode durability waits for the
+// next Barrier.
 func (tx *Tx) Commit() {
 	if tx.done {
 		panic("rvm: Commit on a finished transaction")
@@ -191,8 +276,13 @@ func (tx *Tx) Commit() {
 	tx.done = true
 	tx.buf.WriteByte(tagCommit)
 	binary.Write(&tx.buf, binary.LittleEndian, tx.id)
-	tx.log.disk.Append(tx.log.name, tx.buf.Bytes())
-	tx.log.disk.Sync(tx.log.name)
+	l := tx.log
+	l.st.Append(l.name, tx.buf.Bytes())
+	l.count("rvm.log.bytes", int64(tx.buf.Len()))
+	l.count("rvm.log.commits", 1)
+	if !l.GroupCommit() {
+		l.st.Sync(l.name)
+	}
 }
 
 // WriteNoSync appends the transaction's records and commit marker to the log
@@ -205,7 +295,8 @@ func (tx *Tx) WriteNoSync() {
 	tx.done = true
 	tx.buf.WriteByte(tagCommit)
 	binary.Write(&tx.buf, binary.LittleEndian, tx.id)
-	tx.log.disk.Append(tx.log.name, tx.buf.Bytes())
+	tx.log.st.Append(tx.log.name, tx.buf.Bytes())
+	tx.log.count("rvm.log.bytes", int64(tx.buf.Len()))
 }
 
 // Abort discards the transaction.
@@ -213,25 +304,35 @@ func (tx *Tx) Abort() { tx.done = true }
 
 // ---- Segment checkpoint files ---------------------------------------------
 
+// writeAtomic installs data at name crash-atomically: write-new, sync,
+// swap, force. A crash at any point leaves either the old contents or the
+// new — never a torn mix. (The trailing sync covers shared-log backends
+// whose rename is itself a log record.)
+func writeAtomic(st store.Store, name string, data []byte) {
+	tmp := name + ".tmp"
+	st.Write(tmp, data)
+	st.Sync(tmp)
+	st.Rename(tmp, name)
+	st.Sync(name)
+}
+
 // SegmentFile is the disk name backing segment id (§8: each segment is
 // associated with a file).
 func SegmentFile(id addr.SegID) string { return fmt.Sprintf("seg-%d", uint32(id)) }
 
-// WriteSegment checkpoints a segment image to its backing file and forces
-// it.
-func WriteSegment(d *store.Disk, id addr.SegID, words []uint64) {
+// WriteSegment checkpoints a segment image to its backing file,
+// crash-atomically.
+func WriteSegment(st store.Store, id addr.SegID, words []uint64) {
 	buf := make([]byte, 8*len(words))
 	for i, w := range words {
 		binary.LittleEndian.PutUint64(buf[8*i:], w)
 	}
-	name := SegmentFile(id)
-	d.Write(name, buf)
-	d.Sync(name)
+	writeAtomic(st, SegmentFile(id), buf)
 }
 
 // ReadSegment loads a segment image from its backing file.
-func ReadSegment(d *store.Disk, id addr.SegID) ([]uint64, bool) {
-	data, ok := d.Read(SegmentFile(id))
+func ReadSegment(st store.Store, id addr.SegID) ([]uint64, bool) {
+	data, ok := st.Read(SegmentFile(id))
 	if !ok || len(data)%8 != 0 {
 		return nil, false
 	}
@@ -276,34 +377,35 @@ func getWords(data []byte) ([]uint64, []byte, bool) {
 }
 
 // WriteImage checkpoints a full segment image (words, object-map,
-// reference-map, allocation offset) to its backing file and forces it.
-func WriteImage(d *store.Disk, img mem.SegImage) {
-	buf := make([]byte, 0, 16+8*(len(img.Words)+len(img.ObjBits)+len(img.RefBits)))
-	var hdr [12]byte
+// reference-map, allocation offset) to its backing file. The install is
+// crash-atomic: a recovery sees either the previous image or this one.
+func WriteImage(st store.Store, img mem.SegImage) {
+	buf := make([]byte, 0, 20+8*(len(img.Words)+len(img.ObjBits)+len(img.RefBits)))
+	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(img.ID))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(img.Bunch))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(img.AllocOff))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(img.AllocOff))
+	binary.LittleEndian.PutUint32(hdr[12:], img.Gen)
 	buf = append(buf, hdr[:]...)
 	buf = putWords(buf, img.Words)
 	buf = putWords(buf, img.ObjBits)
 	buf = putWords(buf, img.RefBits)
-	name := ImageFile(img.ID)
-	d.Write(name, buf)
-	d.Sync(name)
+	writeAtomic(st, ImageFile(img.ID), buf)
 }
 
 // ReadImage loads a full segment image from its backing file.
-func ReadImage(d *store.Disk, id addr.SegID) (mem.SegImage, bool) {
-	data, ok := d.Read(ImageFile(id))
-	if !ok || len(data) < 12 {
+func ReadImage(st store.Store, id addr.SegID) (mem.SegImage, bool) {
+	data, ok := st.Read(ImageFile(id))
+	if !ok || len(data) < 16 {
 		return mem.SegImage{}, false
 	}
 	img := mem.SegImage{
 		ID:       addr.SegID(binary.LittleEndian.Uint32(data[:4])),
 		Bunch:    addr.BunchID(binary.LittleEndian.Uint32(data[4:8])),
 		AllocOff: int(binary.LittleEndian.Uint32(data[8:12])),
+		Gen:      binary.LittleEndian.Uint32(data[12:16]),
 	}
-	rest := data[12:]
+	rest := data[16:]
 	if img.Words, rest, ok = getWords(rest); !ok {
 		return mem.SegImage{}, false
 	}
@@ -314,4 +416,51 @@ func ReadImage(d *store.Disk, id addr.SegID) (mem.SegImage, bool) {
 		return mem.SegImage{}, false
 	}
 	return img, true
+}
+
+// ---- Checkpoint live-sets -------------------------------------------------
+
+// LiveSetFile is the disk name of bunch b's checkpoint live-set.
+func LiveSetFile(b addr.BunchID) string { return fmt.Sprintf("liveset-%d", uint32(b)) }
+
+// WriteLiveSet checkpoints the identities of bunch b's live objects — the
+// OIDs holding canonical addresses when the checkpoint was taken. Recovery
+// needs it to tell survivors from corpses: a reclaimed object's header
+// bytes linger in the image of its from-space segment until that segment is
+// recycled, and once the checkpoint truncates the log the death record that
+// would condemn them is gone. A header found in an image but absent from
+// the live set (and from the replayed log suffix) is such a corpse, and
+// resurrecting it would break persistence by reachability (§7). The install
+// is crash-atomic, like the segment images it describes.
+func WriteLiveSet(st store.Store, b addr.BunchID, oids []addr.OID) {
+	buf := make([]byte, 0, 8+8*len(oids))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(b))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(oids)))
+	buf = append(buf, hdr[:]...)
+	for _, o := range oids {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], uint64(o))
+		buf = append(buf, w[:]...)
+	}
+	writeAtomic(st, LiveSetFile(b), buf)
+}
+
+// ReadLiveSet loads bunch b's checkpoint live-set. The boolean reports
+// whether a live-set was ever checkpointed; absence means no checkpoint has
+// covered the bunch, so every recovered object must come from the log.
+func ReadLiveSet(st store.Store, b addr.BunchID) (map[addr.OID]bool, bool) {
+	data, ok := st.Read(LiveSetFile(b))
+	if !ok || len(data) < 8 || addr.BunchID(binary.LittleEndian.Uint32(data[:4])) != b {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:8]))
+	if len(data) < 8+8*n {
+		return nil, false
+	}
+	set := make(map[addr.OID]bool, n)
+	for i := 0; i < n; i++ {
+		set[addr.OID(binary.LittleEndian.Uint64(data[8+8*i:]))] = true
+	}
+	return set, true
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"bmx/internal/addr"
+	"bmx/internal/mem"
 	"bmx/internal/store"
 )
 
@@ -11,8 +12,8 @@ func TestCommitRecover(t *testing.T) {
 	d := store.NewDisk()
 	l := NewLog(d, "log")
 	tx := l.Begin()
-	tx.SetRange(3, 10, []uint64{1, 2, 3})
-	tx.SetRange(3, 20, []uint64{9})
+	tx.SetRange(3, 0, 10, []uint64{1, 2, 3})
+	tx.SetRange(3, 0, 20, []uint64{9})
 	tx.Commit()
 
 	d.Crash()
@@ -32,7 +33,7 @@ func TestUncommittedInvisible(t *testing.T) {
 	d := store.NewDisk()
 	l := NewLog(d, "log")
 	tx := l.Begin()
-	tx.SetRange(1, 0, []uint64{42})
+	tx.SetRange(1, 0, 0, []uint64{42})
 	tx.WriteNoSync() // written to the page cache, never forced
 
 	d.Crash()
@@ -45,10 +46,10 @@ func TestAbort(t *testing.T) {
 	d := store.NewDisk()
 	l := NewLog(d, "log")
 	tx := l.Begin()
-	tx.SetRange(1, 0, []uint64{42})
+	tx.SetRange(1, 0, 0, []uint64{42})
 	tx.Abort()
 	tx2 := l.Begin()
-	tx2.SetRange(1, 1, []uint64{7})
+	tx2.SetRange(1, 0, 1, []uint64{7})
 	tx2.Commit()
 	recs := l.Recover()
 	if len(recs) != 1 || recs[0].Words[0] != 7 {
@@ -61,7 +62,7 @@ func TestMultipleTxOrder(t *testing.T) {
 	l := NewLog(d, "log")
 	for i := uint64(1); i <= 3; i++ {
 		tx := l.Begin()
-		tx.SetRange(0, int(i), []uint64{i})
+		tx.SetRange(0, 0, int(i), []uint64{i})
 		tx.Commit()
 	}
 	recs := l.Recover()
@@ -79,7 +80,7 @@ func TestTornTailIgnored(t *testing.T) {
 	d := store.NewDisk()
 	l := NewLog(d, "log")
 	tx := l.Begin()
-	tx.SetRange(0, 0, []uint64{1})
+	tx.SetRange(0, 0, 0, []uint64{1})
 	tx.Commit()
 	// Simulate a torn write: append garbage that looks like a record start.
 	d.Append("log", []byte{'R', 1, 2, 3})
@@ -94,7 +95,7 @@ func TestCorruptTagStopsScan(t *testing.T) {
 	d := store.NewDisk()
 	l := NewLog(d, "log")
 	tx := l.Begin()
-	tx.SetRange(0, 0, []uint64{1})
+	tx.SetRange(0, 0, 0, []uint64{1})
 	tx.Commit()
 	d.Append("log", []byte{'X', 0, 0, 0, 0, 0, 0, 0, 0})
 	d.Sync("log")
@@ -107,7 +108,7 @@ func TestTruncate(t *testing.T) {
 	d := store.NewDisk()
 	l := NewLog(d, "log")
 	tx := l.Begin()
-	tx.SetRange(0, 0, []uint64{1})
+	tx.SetRange(0, 0, 0, []uint64{1})
 	tx.Commit()
 	l.Truncate()
 	d.Crash()
@@ -126,7 +127,7 @@ func TestFinishedTxPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	tx.SetRange(0, 0, nil)
+	tx.SetRange(0, 0, 0, nil)
 }
 
 func TestTxIDsUnique(t *testing.T) {
@@ -165,14 +166,181 @@ func TestCrashMidSequenceKeepsPrefix(t *testing.T) {
 	d := store.NewDisk()
 	l := NewLog(d, "log")
 	t1 := l.Begin()
-	t1.SetRange(0, 0, []uint64{1})
+	t1.SetRange(0, 0, 0, []uint64{1})
 	t1.Commit()
 	t2 := l.Begin()
-	t2.SetRange(0, 1, []uint64{2})
+	t2.SetRange(0, 0, 1, []uint64{2})
 	t2.WriteNoSync()
 	d.Crash()
 	recs := l.Recover()
 	if len(recs) != 1 || recs[0].Words[0] != 1 {
 		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestGroupCommitNeedsBarrier(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	l.SetGroupCommit(true)
+	tx := l.Begin()
+	tx.SetRange(1, 0, 0, []uint64{42})
+	tx.Commit() // append only: no force in group-commit mode
+	d.Crash()
+	if recs := l.Recover(); len(recs) != 0 {
+		t.Fatalf("group-committed tx durable without barrier: %v", recs)
+	}
+}
+
+func TestGroupCommitBarrierForcesBatch(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	l.SetGroupCommit(true)
+	for i := 0; i < 5; i++ {
+		tx := l.Begin()
+		tx.SetRange(1, 0, i, []uint64{uint64(i)})
+		tx.Commit()
+	}
+	_, _, syncsBefore := d.Stats()
+	l.Barrier()
+	_, _, syncsAfter := d.Stats()
+	if syncsAfter-syncsBefore != 1 {
+		t.Fatalf("barrier cost %d syncs, want 1", syncsAfter-syncsBefore)
+	}
+	d.Crash()
+	if recs := l.Recover(); len(recs) != 5 {
+		t.Fatalf("recovered %d records after barrier, want 5", len(recs))
+	}
+}
+
+func TestGroupCommitOneSyncPerBatch(t *testing.T) {
+	// The point of group commit: N transactions cost one force, vs N in
+	// per-transaction mode.
+	perTx := store.NewDisk()
+	l1 := NewLog(perTx, "log")
+	for i := 0; i < 10; i++ {
+		tx := l1.Begin()
+		tx.SetRange(0, 0, i, []uint64{1})
+		tx.Commit()
+	}
+	_, _, perTxSyncs := perTx.Stats()
+
+	grouped := store.NewDisk()
+	l2 := NewLog(grouped, "log")
+	l2.SetGroupCommit(true)
+	for i := 0; i < 10; i++ {
+		tx := l2.Begin()
+		tx.SetRange(0, 0, i, []uint64{1})
+		tx.Commit()
+	}
+	l2.Barrier()
+	_, _, groupSyncs := grouped.Stats()
+	if perTxSyncs != 10 || groupSyncs != 1 {
+		t.Fatalf("syncs: per-tx %d (want 10), grouped %d (want 1)", perTxSyncs, groupSyncs)
+	}
+}
+
+func TestDeadRecordRoundTrip(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.SetRange(2, 0, 0, []uint64{7})
+	tx.SetDead(addr.OID(0xdeadbeef))
+	tx.Commit()
+	d.Crash()
+	recs := l.Recover()
+	if len(recs) != 2 {
+		t.Fatalf("recs = %d, want 2", len(recs))
+	}
+	if recs[1].OID != addr.OID(0xdeadbeef) || !recs[1].Dead {
+		t.Fatalf("dead record = %+v", recs[1])
+	}
+}
+
+func TestDeadRecordTornTail(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	tx := l.Begin()
+	tx.SetRange(0, 0, 0, []uint64{1})
+	tx.Commit()
+	d.Append("log", []byte{'D', 1, 2}) // torn dead record
+	d.Sync("log")
+	if recs := l.Recover(); len(recs) != 1 {
+		t.Fatalf("recs = %d, want 1", len(recs))
+	}
+}
+
+func TestLogCounters(t *testing.T) {
+	d := store.NewDisk()
+	l := NewLog(d, "log")
+	counts := map[string]int64{}
+	l.SetCounter(func(name string, v int64) { counts[name] += v })
+	tx := l.Begin()
+	tx.SetRange(0, 0, 0, []uint64{1})
+	tx.Commit()
+	l.Barrier()
+	if counts["rvm.log.commits"] != 1 || counts["rvm.log.barriers"] != 1 || counts["rvm.log.bytes"] == 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestWriteImageCrashAtomic(t *testing.T) {
+	d := store.NewDisk()
+	img := mem.SegImage{ID: 4, Bunch: 2, AllocOff: 3,
+		Words: []uint64{1, 2, 3}, ObjBits: []uint64{1}, RefBits: []uint64{0}}
+	WriteImage(d, img)
+	d.Crash() // the install is forced: it survives
+	got, ok := ReadImage(d, 4)
+	if !ok || got.Bunch != 2 || got.AllocOff != 3 || len(got.Words) != 3 {
+		t.Fatalf("ReadImage = %+v, %v", got, ok)
+	}
+	for _, f := range d.Files() {
+		if f == ImageFile(4)+".tmp" {
+			t.Fatal("tmp file left behind")
+		}
+	}
+	// Overwrite with a new image; old or new must be visible, never torn.
+	img.Words = []uint64{9, 9, 9}
+	WriteImage(d, img)
+	d.Crash()
+	got, ok = ReadImage(d, 4)
+	if !ok || got.Words[0] != 9 {
+		t.Fatalf("after overwrite = %+v, %v", got, ok)
+	}
+}
+
+func TestLiveSetRoundTrip(t *testing.T) {
+	d := store.NewDisk()
+	oids := []addr.OID{3, 9, 0x7fffffffff}
+	WriteLiveSet(d, 5, oids)
+	d.Crash() // the write is forced: it survives
+	set, ok := ReadLiveSet(d, 5)
+	if !ok || len(set) != len(oids) {
+		t.Fatalf("ReadLiveSet = %v, %v", set, ok)
+	}
+	for _, o := range oids {
+		if !set[o] {
+			t.Fatalf("live-set missing %v", o)
+		}
+	}
+	if _, ok := ReadLiveSet(d, 6); ok {
+		t.Fatal("live-set for the wrong bunch resolved")
+	}
+}
+
+func TestLiveSetEmptyAndTruncated(t *testing.T) {
+	d := store.NewDisk()
+	WriteLiveSet(d, 2, nil)
+	if set, ok := ReadLiveSet(d, 2); !ok || len(set) != 0 {
+		t.Fatalf("empty live-set = %v, %v", set, ok)
+	}
+	// A truncated payload (fewer OID words than the header promises) is
+	// rejected rather than half-parsed.
+	data, _ := d.Read(LiveSetFile(2))
+	data = append(data[:len(data):len(data)], make([]byte, 8)...)
+	data[4] = 3 // claim 3 OIDs, provide 1
+	d.Write(LiveSetFile(2), data)
+	d.Sync(LiveSetFile(2))
+	if _, ok := ReadLiveSet(d, 2); ok {
+		t.Fatal("truncated live-set resolved")
 	}
 }

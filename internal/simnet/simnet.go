@@ -37,9 +37,10 @@
 package simnet
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"bmx/internal/addr"
@@ -420,11 +421,11 @@ func (nw *Network) pop(keep func(pair) bool) (Msg, Handler, bool) {
 			return Msg{}, nil, false
 		}
 	}
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].from != ps[j].from {
-			return ps[i].from < ps[j].from
+	slices.SortFunc(ps, func(a, b pair) int {
+		if c := cmp.Compare(a.from, b.from); c != 0 {
+			return c
 		}
-		return ps[i].to < ps[j].to
+		return cmp.Compare(a.to, b.to)
 	})
 	q := nw.queues[ps[0]]
 	m := q.msgs[0].m

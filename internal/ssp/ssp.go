@@ -31,8 +31,9 @@
 package ssp
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 )
@@ -185,12 +186,11 @@ func (t *Table) InterStubList() []InterStub {
 	for _, s := range t.InterStubs {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.SrcOID != b.SrcOID {
-			return a.SrcOID < b.SrcOID
+	slices.SortFunc(out, func(a, b InterStub) int {
+		if c := cmp.Compare(a.SrcOID, b.SrcOID); c != 0 {
+			return c
 		}
-		return a.TargetOID < b.TargetOID
+		return cmp.Compare(a.TargetOID, b.TargetOID)
 	})
 	return out
 }
@@ -201,12 +201,11 @@ func (t *Table) IntraStubList() []IntraStub {
 	for _, s := range t.IntraStubs {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.OID != b.OID {
-			return a.OID < b.OID
+	slices.SortFunc(out, func(a, b IntraStub) int {
+		if c := cmp.Compare(a.OID, b.OID); c != 0 {
+			return c
 		}
-		return a.OldOwner < b.OldOwner
+		return cmp.Compare(a.OldOwner, b.OldOwner)
 	})
 	return out
 }
@@ -217,15 +216,14 @@ func (t *Table) InterScionList() []InterScion {
 	for _, s := range t.InterScions {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.TargetOID != b.TargetOID {
-			return a.TargetOID < b.TargetOID
+	slices.SortFunc(out, func(a, b InterScion) int {
+		if c := cmp.Compare(a.TargetOID, b.TargetOID); c != 0 {
+			return c
 		}
-		if a.SrcOID != b.SrcOID {
-			return a.SrcOID < b.SrcOID
+		if c := cmp.Compare(a.SrcOID, b.SrcOID); c != 0 {
+			return c
 		}
-		return a.SrcNode < b.SrcNode
+		return cmp.Compare(a.SrcNode, b.SrcNode)
 	})
 	return out
 }
@@ -236,12 +234,11 @@ func (t *Table) IntraScionList() []IntraScion {
 	for _, s := range t.IntraScions {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.OID != b.OID {
-			return a.OID < b.OID
+	slices.SortFunc(out, func(a, b IntraScion) int {
+		if c := cmp.Compare(a.OID, b.OID); c != 0 {
+			return c
 		}
-		return a.NewOwner < b.NewOwner
+		return cmp.Compare(a.NewOwner, b.NewOwner)
 	})
 	return out
 }
@@ -271,7 +268,7 @@ func sortedOIDs(set map[addr.OID]bool) []addr.OID {
 	for o := range set {
 		out = append(out, o)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

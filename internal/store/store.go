@@ -1,22 +1,66 @@
-// Package store simulates the secondary storage of a BMX node: a set of
-// named files with explicit sync semantics and a crash operation.
+// Package store provides the secondary storage of a BMX node: a flat
+// namespace of named files with explicit sync semantics and a crash
+// operation, behind a pluggable Store interface.
 //
 // The paper's prototype supports persistence "by associating each segment
-// with a Unix file" and recovery through RVM's disk-based log (§8). This
-// simulated disk distinguishes volatile content (written but not yet forced
-// to disk — the OS page cache) from durable content; Crash discards the
-// volatile part of every file, which is exactly the failure model RVM is
-// built against.
+// with a Unix file" and recovery through RVM's disk-based log (§8). Every
+// backend distinguishes volatile content (written but not yet forced to
+// disk — the OS page cache) from durable content; Crash discards the
+// volatile part, which is exactly the failure model RVM is built against.
+//
+// Three backends implement the interface:
+//
+//   - Disk (memstore): the original map-backed simulated disk. Fully
+//     deterministic; the default for the chaos harness.
+//   - FlatFS: one file per name. Given a directory it backs durable
+//     content with real os.File writes + fsync (and recovers from the
+//     directory on construction); without one it simulates.
+//   - LSM: log-structured — every operation is a record appended to an
+//     active segment; Sync advances a durable watermark over the shared
+//     log (group durability) and compaction folds cold segments into a
+//     snapshot.
+//
+// Measure wraps any backend and feeds bytes/syncs/latency into the obs
+// counter/histogram pipeline.
 package store
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
-// Disk is a simulated disk: a flat namespace of files. All methods are safe
-// for concurrent use.
+// Store is the persistent-storage abstraction a node runs against.
+// Implementations must be safe for concurrent use.
+//
+// Semantics every backend guarantees:
+//
+//   - Write replaces, Append extends, the volatile contents of name.
+//   - Sync(name) makes name's volatile contents durable before returning.
+//     A backend MAY make other files durable too (a shared-log backend
+//     syncs the whole log batch); callers may only rely on name.
+//   - Read sees volatile contents; ReadDurable sees what a post-crash
+//     recovery would see.
+//   - Rename atomically moves a file (volatile and durable halves) to a
+//     new name, replacing any existing file — the journaled-FS rename
+//     used for crash-atomic checkpoint swaps.
+//   - Crash discards all volatile state; only durable data survives.
+type Store interface {
+	Write(name string, data []byte)
+	Append(name string, data []byte)
+	Sync(name string)
+	Read(name string) ([]byte, bool)
+	ReadDurable(name string) ([]byte, bool)
+	Remove(name string)
+	Rename(oldName, newName string)
+	Crash()
+	Files() []string
+	Stats() (written, synced, syncs int64)
+	String() string
+}
+
+// Disk is the map-backed simulated disk (the "mem" backend). All methods
+// are safe for concurrent use.
 type Disk struct {
 	mu    sync.Mutex
 	files map[string]*file
@@ -30,6 +74,8 @@ type file struct {
 	durable  []byte
 	volatile []byte
 }
+
+var _ Store = (*Disk)(nil)
 
 // NewDisk returns an empty disk.
 func NewDisk() *Disk {
@@ -105,6 +151,19 @@ func (d *Disk) Remove(name string) {
 	delete(d.files, name)
 }
 
+// Rename atomically moves oldName to newName, replacing any existing file.
+// Like a journaled-FS rename it is durable immediately: both halves move.
+func (d *Disk) Rename(oldName, newName string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[oldName]
+	if !ok {
+		return
+	}
+	delete(d.files, oldName)
+	d.files[newName] = f
+}
+
 // Crash discards every file's volatile contents, simulating a system
 // failure: only synced data survives. Files never synced disappear.
 func (d *Disk) Crash() {
@@ -127,7 +186,7 @@ func (d *Disk) Files() []string {
 	for n := range d.files {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -1,9 +1,10 @@
 package transport
 
 import (
+	"cmp"
 	"errors"
 	"math"
-	"sort"
+	"slices"
 
 	"bmx/internal/addr"
 )
@@ -190,11 +191,11 @@ func (fp FaultPlan) Sanitized() FaultPlan {
 		seen[n] = true
 		out.Partitions = append(out.Partitions, n)
 	}
-	sort.Slice(out.Partitions, func(i, j int) bool {
-		if out.Partitions[i].A != out.Partitions[j].A {
-			return out.Partitions[i].A < out.Partitions[j].A
+	slices.SortFunc(out.Partitions, func(a, b NodePair) int {
+		if c := cmp.Compare(a.A, b.A); c != 0 {
+			return c
 		}
-		return out.Partitions[i].B < out.Partitions[j].B
+		return cmp.Compare(a.B, b.B)
 	})
 	return out
 }

@@ -2,7 +2,7 @@ package transport
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -93,7 +93,7 @@ func (s *Stats) String() string {
 	for k := range snap {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	var b strings.Builder
 	for _, k := range keys {
 		if snap[k] != 0 {
