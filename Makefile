@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos chaos-crash bench bench-json experiments figures examples cover clean
+.PHONY: all build vet test test-short race chaos chaos-crash bench bench-json bench-json-sim bench-json-tcp experiments figures examples cover clean
 
 all: build vet test
 
@@ -49,13 +49,28 @@ bench:
 # GC worker pool. The BENCH_6 family is the same workload on a persistent
 # store: per-transaction commit vs group commit (syncs-per-flip is the
 # figure that moves), then the flatfs and LSM backends under group commit.
-bench-json:
+# BENCH_7 runs the same tree workload once on the simulated network and
+# once as a real 3-process TCP cluster over loopback, and A/B-diffs them:
+# the paper's accounting figures (msgs/op, piggyback volume, zero collector
+# acquires) must survive the move to real sockets.
+bench-json: bench-json-sim bench-json-tcp
+	$(GO) run ./cmd/bmxstat -bench BENCH_7_simnet.json -diff BENCH_7_tcp.json
+
+bench-json-sim:
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -bench-json BENCH_4.json
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -gc-workers 4 -bench-json BENCH_5.json
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store mem -sync pertx -bench-json BENCH_6_pertx.json
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store mem -sync flip -bench-json BENCH_6_flip.json
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store flatfs -sync flip -bench-json BENCH_6_flatfs.json
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store lsm -sync flip -bench-json BENCH_6_lsm.json
+	$(GO) run ./cmd/bmxd -nodes 3 -objects 120 -rounds 8 -workload tree -seed 5 -bench-json BENCH_7_simnet.json
+
+bench-json-tcp:
+	$(GO) build -o ./bmxd.bench ./cmd/bmxd
+	./bmxd.bench -listen 127.0.0.1:39412 -peers 127.0.0.1:39411,127.0.0.1:39413 -workload tree -objects 120 -rounds 8 -seed 5 & \
+	./bmxd.bench -listen 127.0.0.1:39413 -peers 127.0.0.1:39411,127.0.0.1:39412 -workload tree -objects 120 -rounds 8 -seed 5 & \
+	./bmxd.bench -listen 127.0.0.1:39411 -peers 127.0.0.1:39412,127.0.0.1:39413 -workload tree -objects 120 -rounds 8 -seed 5 -bench-json BENCH_7_tcp.json; \
+	status=$$?; wait; rm -f ./bmxd.bench; exit $$status
 
 experiments:
 	$(GO) run ./cmd/bmxbench

@@ -61,6 +61,17 @@ type Ref = cluster.Ref
 // Nil is the null reference.
 var Nil = cluster.Nil
 
+// PeerConfig assembles one process of a multi-process cluster over real TCP
+// sockets: a single node, identity derived from the sorted address set, the
+// rank-0 process serving the authoritative directory.
+type PeerConfig = cluster.PeerConfig
+
+// Peer is one process's share of a multi-process cluster.
+type Peer = cluster.Peer
+
+// NewPeer builds this process's node and starts listening.
+func NewPeer(cfg PeerConfig) (*Peer, error) { return cluster.NewPeer(cfg) }
+
 // Identifier types of the single shared address space.
 type (
 	// OID is a stable, cluster-unique object identity.

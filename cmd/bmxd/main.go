@@ -58,6 +58,10 @@ func main() {
 		storeDir  = flag.String("store-dir", "", "flatfs only: directory for real durable files, one subdirectory per node (empty = simulated durability)")
 		syncMode  = flag.String("sync", "pertx", "RVM commit discipline with -store: pertx (force the log every commit) or flip (group commit, one force per collection flip)")
 
+		listen   = flag.String("listen", "", "multi-process mode: serve this node on ADDR (host:port) and cluster with -peers; rank in the sorted address set is the node identity, rank 0 drives")
+		peersArg = flag.String("peers", "", "multi-process mode: comma-separated listen addresses of the other bmxd processes")
+		traceOut = flag.String("trace-out", "", "multi-process mode: write this process's flight-recorder events as NDJSON to FILE (mergeable across processes with bmxstat -trace a,b,c)")
+
 		chaos      = flag.Bool("chaos", false, "run the seeded chaos soak instead of the workload driver")
 		chaosSteps = flag.Int("chaos-steps", 400, "chaos: workload steps in the fault storm")
 		dup        = flag.Float64("dup", 0, "chaos: message duplication probability")
@@ -71,6 +75,16 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "chaos-crash: checkpoint a node's home bunch every N steps (0 = default schedule)")
 	)
 	flag.Parse()
+
+	if *listen != "" {
+		runPeerCluster(peerOpts{
+			listen: *listen, peers: splitPeers(*peersArg),
+			workload: *workload, objects: *objects, rounds: *rounds,
+			gcEvery: *gcEvery, churn: *churn, seed: *seed, traceOut: *traceOut, verbose: *verbose,
+			seriesOut: *seriesJSON, benchOut: *benchJSON,
+		})
+		return
+	}
 
 	proto := bmx.ProtocolEntry
 	switch *protocol {

@@ -1,0 +1,195 @@
+package main
+
+// End-to-end test of the multi-process mode: build the real bmxd binary
+// once, start three processes over loopback, and require the seed's
+// convergence audit to pass. The per-process NDJSON traces are then merged
+// and the paper's structural probes re-asserted offline — §5 (the collector
+// initiates no token acquire, no invalidation) and §4.4 (no GC-class
+// message on the application's critical path beyond the sanctioned
+// scion-message) — exactly the checks the simulated cluster's flight
+// recorder enforces in-process.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bmx/internal/obs"
+)
+
+var (
+	buildOnce sync.Once
+	buildPath string
+	buildErr  error
+)
+
+// bmxdBinary builds the command under test once per test-process run.
+func bmxdBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "bmxd-e2e-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildPath = filepath.Join(dir, "bmxd")
+		cmd := exec.Command("go", "build", "-o", buildPath, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildPath
+}
+
+// reserveAddrs picks n distinct loopback addresses by binding ephemeral
+// listeners and releasing them just before the processes start.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	var ls []net.Listener
+	var addrs []string
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls = append(ls, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+	return addrs
+}
+
+func TestThreeProcessClusterConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e is not -short")
+	}
+	bin := bmxdBinary(t)
+	addrs := reserveAddrs(t, 3)
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	type proc struct {
+		addr  string
+		trace string
+		cmd   *exec.Cmd
+		out   strings.Builder
+	}
+	procs := make([]*proc, len(addrs))
+	for i, a := range addrs {
+		var peers []string
+		for j, b := range addrs {
+			if j != i {
+				peers = append(peers, b)
+			}
+		}
+		p := &proc{addr: a, trace: filepath.Join(dir, fmt.Sprintf("trace-%d.ndjson", i))}
+		p.cmd = exec.CommandContext(ctx, bin,
+			"-listen", a, "-peers", strings.Join(peers, ","),
+			"-workload", "tree", "-objects", "40", "-rounds", "8", "-gc-every", "2",
+			"-trace-out", p.trace)
+		p.cmd.Stdout = &p.out
+		p.cmd.Stderr = &p.out
+		procs[i] = p
+	}
+	// Start order is irrelevant — every process dials every peer with
+	// reconnect/backoff until the mesh is up.
+	for _, p := range procs {
+		if err := p.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	failed := false
+	for _, p := range procs {
+		if err := p.cmd.Wait(); err != nil {
+			failed = true
+			t.Errorf("process on %s failed: %v", p.addr, err)
+		} else if !strings.Contains(p.out.String(), "SUCCESS") {
+			failed = true
+			t.Errorf("process on %s exited 0 without SUCCESS", p.addr)
+		}
+	}
+	if failed {
+		// Dump every process's output: a wedged follower usually means the
+		// seed died or stalled first, and only the full picture shows it.
+		for _, p := range procs {
+			t.Logf("---- output of %s ----\n%s", p.addr, p.out.String())
+		}
+		t.FailNow()
+	}
+	// The seed is the process with the smallest address; it prints the
+	// cluster-wide convergence line.
+	sorted := append([]string(nil), addrs...)
+	sort.Strings(sorted)
+	for _, p := range procs {
+		if p.addr == sorted[0] && !strings.Contains(p.out.String(), "converged across processes") {
+			t.Fatalf("seed output misses the convergence audit:\n%s", p.out.String())
+		}
+	}
+
+	// Merge the per-process traces on the Lamport tick and re-assert the
+	// paper's claims offline.
+	var evs []obs.Event
+	for _, p := range procs {
+		f, err := os.Open(p.trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := obs.ReadEventsNDJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("trace %s: %v", p.trace, err)
+		}
+		if len(part) == 0 {
+			t.Fatalf("trace %s is empty", p.trace)
+		}
+		evs = append(evs, part...)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Tick < evs[j].Tick })
+
+	// The stream must carry both sides of the mixed run, or the claims
+	// below would hold vacuously.
+	var sawGC, sawCriticalApp bool
+	for _, e := range evs {
+		if e.Kind == obs.KGCStart {
+			sawGC = true
+		}
+		if e.Kind == obs.KCall && e.Class == obs.ClassApp && e.Critical() {
+			sawCriticalApp = true
+		}
+	}
+	if !sawGC || !sawCriticalApp {
+		t.Fatalf("merged stream misses one side of the run: gc=%v criticalApp=%v (%d events)",
+			sawGC, sawCriticalApp, len(evs))
+	}
+
+	// §5: zero collector-initiated acquires and invalidations, across all
+	// three processes.
+	if bad := obs.CollectorAcquires(evs); len(bad) != 0 {
+		t.Fatalf("collector initiated %d token acquires; first: %v", len(bad), bad[0])
+	}
+	if bad := obs.CollectorInvalidations(evs); len(bad) != 0 {
+		t.Fatalf("collector caused %d invalidations; first: %v", len(bad), bad[0])
+	}
+	// §4.4: nothing GC-class rides the critical path except the sanctioned
+	// scion-message (the single-bunch tree workload typically emits none
+	// at all).
+	crit := obs.CriticalGCMessages(evs)
+	if bad := obs.NonScion(crit); len(bad) != 0 {
+		t.Fatalf("%d non-piggybacked GC messages on the critical path; first: %v", len(bad), bad[0])
+	}
+}

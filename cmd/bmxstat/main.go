@@ -21,6 +21,8 @@ import (
 	"io"
 	"os"
 	"slices"
+	"sort"
+	"strings"
 
 	"bmx/internal/addr"
 	"bmx/internal/introspect"
@@ -61,15 +63,24 @@ func main() {
 
 	var evs []obs.Event
 	if *tracePath != "" {
-		r := open(*tracePath)
-		var err error
-		evs, err = obs.ReadEventsNDJSONLoose(r)
-		r.Close()
-		if err != nil {
-			fail(err)
+		// -trace accepts a comma-separated list: the per-process captures
+		// of a multi-process run (bmxd -trace-out) merge into one stream,
+		// ordered by the transport's Lamport tick.
+		paths := strings.Split(*tracePath, ",")
+		for _, p := range paths {
+			r := open(p)
+			part, err := obs.ReadEventsNDJSONLoose(r)
+			r.Close()
+			if err != nil {
+				fail(err)
+			}
+			evs = append(evs, part...)
 		}
 		if len(evs) == 0 {
 			fail(fmt.Errorf("%s contains no events (was the run traced with -trace-json?)", *tracePath))
+		}
+		if len(paths) > 1 {
+			sort.SliceStable(evs, func(i, j int) bool { return evs[i].Tick < evs[j].Tick })
 		}
 	}
 	var samples []obs.Sample

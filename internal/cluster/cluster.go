@@ -112,7 +112,7 @@ const objStripes = 64
 type Cluster struct {
 	cfg   Config
 	net   transport.Network
-	dir   *core.Directory
+	dir   core.Dir
 	nodes []*Node
 	// objLocks serialize concurrent top-level token acquisitions of the
 	// same object cluster-wide, making each acquire-chain atomic with
@@ -267,8 +267,9 @@ func (cl *Cluster) Sample() {
 }
 
 // Directory exposes the cluster metadata service (read-mostly; used by
-// tools and experiments).
-func (cl *Cluster) Directory() *core.Directory { return cl.dir }
+// tools and experiments). In a multi-process peer it is a proxy for the
+// seed's directory.
+func (cl *Cluster) Directory() core.Dir { return cl.dir }
 
 // SetLossRate changes the background-message drop probability. The rate is
 // clamped to [0, 1] (NaN and negative values become 0) and the effective

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bmx/internal/addr"
+	"bmx/internal/core"
+	"bmx/internal/dsm"
+	"bmx/internal/mem"
+	"bmx/internal/transport"
+	"bmx/internal/transport/tcp"
+)
+
+// PeerConfig assembles one process of a multi-process cluster: a single
+// node over the real TCP transport. Every process is given the same address
+// set — its own listen address plus every other process's — and node
+// identity follows from it deterministically: sort all addresses, your rank
+// is your NodeID. The rank-0 process is the seed: it owns the authoritative
+// core.Directory and answers the other processes' "dir.*" calls; everyone
+// else holds a remoteDir proxy. No further coordination is needed to boot.
+type PeerConfig struct {
+	// Listen is this process's address, exactly as the other processes
+	// name it in their Peers list (the NodeID derivation compares the
+	// strings, so ":0" or unequal spellings would break identity).
+	Listen string
+	// Peers are the other processes' listen addresses.
+	Peers []string
+
+	SegWords    int // segment size in words; default 256
+	Costs       core.Costs
+	Consistency dsm.Protocol
+	Seed        int64
+}
+
+// Peer is one process's share of a multi-process cluster: a Cluster holding
+// exactly one Node, plus the seed/proxy directory wiring and a control-call
+// hook for a driver protocol layered on top ("ctl.*" kinds).
+type Peer struct {
+	cl   *Cluster
+	n    *Node
+	tr   *tcp.Transport
+	id   addr.NodeID
+	size int
+	ctl  atomic.Pointer[transport.CallHandler]
+}
+
+// NewPeer builds this process's node and starts listening. The returned
+// peer is live immediately; use WaitReady to block until the whole cluster
+// is mutually connected.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.SegWords == 0 {
+		cfg.SegWords = 256
+	}
+	if cfg.Costs == (core.Costs{}) {
+		cfg.Costs = core.DefaultCosts()
+	}
+	all := append(append([]string(nil), cfg.Peers...), cfg.Listen)
+	sort.Strings(all)
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate peer address %q", all[i])
+		}
+	}
+	id := addr.NodeID(sort.SearchStrings(all, cfg.Listen))
+	tr, err := tcp.New(tcp.Options{Listen: cfg.Listen, Peers: cfg.Peers, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		cfg: Config{Nodes: len(all), SegWords: cfg.SegWords, Costs: cfg.Costs,
+			Consistency: cfg.Consistency}.withDefaults(),
+		net: tr,
+	}
+	if id == 0 {
+		cl.dir = core.NewDirectory(mem.NewAllocator(cfg.SegWords))
+	} else {
+		cl.dir = newRemoteDir(tr, id, 0, cfg.SegWords)
+	}
+	n := &Node{cl: cl, id: id}
+	n.tr = &nodeTransport{n: n, inner: tr}
+	n.rec = tr.Stats().Observer().Recorder(id)
+	heap := mem.NewHeap(cl.dir.Allocator())
+	col := core.NewCollector(id, heap, cl.dir, n.tr, cfg.Costs)
+	d := dsm.NewNode(id, n.tr, col, len(all))
+	d.SetProtocol(cfg.Consistency)
+	col.SetDSM(d)
+	n.col, n.dsm = col, d
+	cl.nodes = append(cl.nodes, n)
+	p := &Peer{cl: cl, n: n, tr: tr, id: id, size: len(all)}
+	tr.Register(id, n.handleAsync, p.handleCall)
+	return p, nil
+}
+
+// handleCall routes the two call families that must not enter the node's
+// ordinary dispatch: directory service (seed only; the Directory has its
+// own lock and a dir call may arrive while this node's lock is held by a
+// blocked mutator) and driver control (which invokes the mutator API, which
+// takes the node lock itself).
+func (p *Peer) handleCall(m transport.Msg) (any, int, error) {
+	switch {
+	case strings.HasPrefix(m.Kind, "dir."):
+		d, ok := p.cl.dir.(*core.Directory)
+		if !ok {
+			return nil, 0, fmt.Errorf("cluster: dir call %q reached non-seed node %v", m.Kind, p.id)
+		}
+		return serveDir(d, m)
+	case strings.HasPrefix(m.Kind, "ctl."):
+		if h := p.ctl.Load(); h != nil {
+			return (*h)(m)
+		}
+		return nil, 0, fmt.Errorf("cluster: no control handler at node %v for %q", p.id, m.Kind)
+	}
+	return p.n.handleCall(m)
+}
+
+// SetControl installs the driver's handler for "ctl.*" calls.
+func (p *Peer) SetControl(h transport.CallHandler) { p.ctl.Store(&h) }
+
+// Control sends one driver-protocol call to another process's node.
+func (p *Peer) Control(to addr.NodeID, kind string, payload any, bytes int) (any, error) {
+	return p.tr.Call(transport.Msg{
+		From: p.id, To: to, Kind: kind, Class: transport.ClassApp,
+		Payload: payload, Bytes: bytes,
+	})
+}
+
+// WaitReady blocks until every other process's node is routable.
+func (p *Peer) WaitReady(timeout time.Duration) error {
+	return p.tr.WaitForNodes(p.size-1, timeout)
+}
+
+// ID returns this process's node identity (its rank in the sorted address
+// set).
+func (p *Peer) ID() addr.NodeID { return p.id }
+
+// Size returns the cluster size (process count).
+func (p *Peer) Size() int { return p.size }
+
+// IsSeed reports whether this process owns the authoritative directory.
+func (p *Peer) IsSeed() bool { return p.id == 0 }
+
+// Cluster returns the single-node cluster view (stats, observer, tracing).
+func (p *Peer) Cluster() *Cluster { return p.cl }
+
+// Node returns the local node (the full mutator and collection API).
+func (p *Peer) Node() *Node { return p.n }
+
+// Transport returns the underlying TCP transport.
+func (p *Peer) Transport() *tcp.Transport { return p.tr }
+
+// Close tears down the transport (listener and every peer stream).
+func (p *Peer) Close() error { return p.tr.Close() }

@@ -1,0 +1,13 @@
+package cluster
+
+import "encoding/gob"
+
+// Wire registration of the cluster-level payloads for the multi-process TCP
+// transport's gob payload codec: bunch mapping and the forwarded directory
+// service.
+func init() {
+	gob.Register(mapBunchReq{})
+	gob.Register(mapBunchReply{})
+	gob.Register(dirReq{})
+	gob.Register(dirReply{})
+}

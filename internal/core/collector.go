@@ -81,7 +81,7 @@ func newReplica(b addr.BunchID) *Replica {
 type Collector struct {
 	node  addr.NodeID
 	heap  *mem.Heap
-	dir   *Directory
+	dir   Dir
 	net   transport.Transport
 	costs Costs
 	dsm   *dsm.Node
@@ -151,7 +151,7 @@ var gcPhases = []string{"roots", "trace", "copy", "fixup", "flip", "reclaim", "t
 
 // NewCollector creates node's collector. SetDSM must be called before any
 // collection or hook activity.
-func NewCollector(node addr.NodeID, heap *mem.Heap, dir *Directory, net transport.Transport, costs Costs) *Collector {
+func NewCollector(node addr.NodeID, heap *mem.Heap, dir Dir, net transport.Transport, costs Costs) *Collector {
 	o := net.Stats().Observer()
 	phases := make(map[string]*obs.Histogram, len(gcPhases))
 	for _, p := range gcPhases {

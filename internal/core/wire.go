@@ -1,0 +1,14 @@
+package core
+
+import "encoding/gob"
+
+// Wire registration of the collector's message payloads, so the TCP
+// transport's gob payload codec can ship them between processes (the simnet
+// transport passes them as in-memory values and needs none of this).
+func init() {
+	gob.Register(LocFlushMsg{})
+	gob.Register(DeadNoticeMsg{})
+	gob.Register(CopyOutReq{})
+	gob.Register(CopyOutReply{})
+	gob.Register(AddrChangeMsg{})
+}

@@ -1,0 +1,21 @@
+package dsm
+
+import (
+	"encoding/gob"
+
+	"bmx/internal/transport"
+)
+
+// The multi-process TCP transport ships message payloads by gob inside a
+// self-describing box, which requires every concrete payload type — request,
+// reply or background message — to be registered. All processes run the
+// same binary, so registering unexported types is sound: both ends agree on
+// the name. Error sentinels that cross the wire register with the transport
+// error registry so errors.Is keeps working on the far side of a Call.
+func init() {
+	gob.Register(acquireReq{})
+	gob.Register(acquireReply{})
+	gob.Register(invalidateReq{})
+	gob.Register(LocMsg{})
+	transport.RegisterWireError("dsm.noOwner", ErrNoOwner)
+}

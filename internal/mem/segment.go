@@ -67,6 +67,14 @@ type Allocator struct {
 	metas    []*SegmentMeta
 	free     []addr.SegID
 	recycled int
+	// resolver, when set, makes this allocator a sparse mirror of a remote
+	// authority: a Meta/Lookup miss invokes it (with no allocator lock
+	// held — it may block on the network) and adopts whatever descriptor
+	// it returns. missed caches resolver misses so unallocated address
+	// ranges don't trigger a fetch per probe; it is cleared whenever a new
+	// descriptor is adopted, since any adoption may make a miss stale.
+	resolver func(addr.SegID) *SegmentMeta
+	missed   map[addr.SegID]bool
 }
 
 // NewAllocator creates an allocator of segWords-sized segments.
@@ -111,7 +119,7 @@ func (a *Allocator) NewSegment(b addr.BunchID) *SegmentMeta {
 func (a *Allocator) Free(id addr.SegID) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if int(id) >= len(a.metas) {
+	if int(id) >= len(a.metas) || a.metas[id] == nil {
 		return
 	}
 	a.metas[id].Bunch = addr.NoBunch
@@ -126,13 +134,75 @@ func (a *Allocator) Recycled() int {
 }
 
 // Meta returns the descriptor of segment id, or nil if never allocated.
+// On a mirror (SetResolver), a miss consults the remote authority once and
+// adopts the result.
 func (a *Allocator) Meta(id addr.SegID) *SegmentMeta {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if int(id) >= len(a.metas) {
+	if int(id) < len(a.metas) && a.metas[id] != nil {
+		m := a.metas[id]
+		a.mu.Unlock()
+		return m
+	}
+	r := a.resolver
+	if r == nil || a.missed[id] {
+		a.mu.Unlock()
 		return nil
 	}
+	a.mu.Unlock()
+	m := r(id) // network fetch: no lock held
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m == nil {
+		a.missed[id] = true
+		if int(id) < len(a.metas) {
+			return a.metas[id] // a racing adopt may have filled it
+		}
+		return nil
+	}
+	a.adoptLocked(*m)
 	return a.metas[id]
+}
+
+// SetResolver turns this allocator into a sparse mirror: descriptors it does
+// not hold are fetched through f on demand and adopted. Install before use;
+// f runs without the allocator lock and may block on the network.
+func (a *Allocator) SetResolver(f func(addr.SegID) *SegmentMeta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.resolver = f
+	a.missed = make(map[addr.SegID]bool)
+}
+
+// Adopt installs (or refreshes) a descriptor obtained from the remote
+// authority at its segment index, growing the table sparsely: slots for
+// segments this mirror never heard of stay nil. The descriptor is copied,
+// so a wire-decoded value may be passed directly.
+func (a *Allocator) Adopt(m SegmentMeta) *SegmentMeta {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.adoptLocked(m)
+}
+
+func (a *Allocator) adoptLocked(m SegmentMeta) *SegmentMeta {
+	for int(m.ID) >= len(a.metas) {
+		a.metas = append(a.metas, nil)
+	}
+	if cur := a.metas[m.ID]; cur != nil {
+		// Refresh in place so every holder of the pointer sees the update
+		// (recycling bumps Gen and rebinds Bunch at the authority).
+		*cur = m
+	} else {
+		cp := m
+		a.metas[m.ID] = &cp
+	}
+	if a.missed != nil {
+		// Any adoption may invalidate cached misses (the authority has
+		// allocated since); drop them all — misses are cheap to re-fetch.
+		for id := range a.missed {
+			delete(a.missed, id)
+		}
+	}
+	return a.metas[m.ID]
 }
 
 // Lookup returns the descriptor of the segment containing address x, or nil
@@ -152,7 +222,7 @@ func (a *Allocator) BunchSegments(b addr.BunchID) []*SegmentMeta {
 	defer a.mu.Unlock()
 	var out []*SegmentMeta
 	for _, m := range a.metas {
-		if m.Bunch == b {
+		if m != nil && m.Bunch == b {
 			out = append(out, m)
 		}
 	}

@@ -338,3 +338,31 @@ func TestConcurrentSendsSafe(t *testing.T) {
 		t.Fatalf("delivered %d, want 400", len(*got))
 	}
 }
+
+// TestClockPinnedSchedule pins the exact tick schedule of a scripted
+// exchange. The shared simulated clock advances only through charged
+// latencies (Advance) — simnet never merges remote observations
+// (transport.Clock.Observe is for multi-process transports), so this
+// byte-level schedule must survive any clock API growth unchanged.
+func TestClockPinnedSchedule(t *testing.T) {
+	nw := New(Options{SendLatency: 3, CallLatency: 5})
+	collectNode(nw, 0)
+	collectNode(nw, 1)
+
+	for i := 0; i < 4; i++ {
+		nw.Send(Msg{From: 0, To: 1, Kind: "k"})
+	}
+	if now := nw.Clock().Now(); now != 0 {
+		t.Fatalf("enqueue advanced the clock to %d", now)
+	}
+	nw.Run(0)
+	if now := nw.Clock().Now(); now != 12 {
+		t.Fatalf("after 4 deliveries at latency 3: clock = %d, want 12", now)
+	}
+	if _, err := nw.Call(Msg{From: 0, To: 1, Kind: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if now := nw.Clock().Now(); now != 22 {
+		t.Fatalf("after one call (two legs at latency 5): clock = %d, want 22", now)
+	}
+}

@@ -1,0 +1,10 @@
+package ssp
+
+import "encoding/gob"
+
+// Wire registration of the SSP message payloads for the multi-process TCP
+// transport's gob payload codec.
+func init() {
+	gob.Register(ScionMsg{})
+	gob.Register(TableMsg{})
+}

@@ -25,6 +25,24 @@ func (c *Clock) Advance(d uint64) uint64 {
 	return c.t
 }
 
+// Observe merges a tick observed on a remote clock into this one, Lamport
+// style: the local time becomes max(local, remote)+1 and is returned. A
+// multi-process transport calls Observe on every received frame so that
+// cross-process tick attribution (event timestamps, cost accounting) stays
+// coherent: any tick recorded after a receive compares greater than every
+// tick the sender stamped before the send. The in-process simnet shares one
+// Clock between all nodes and never calls Observe, so its tick streams are
+// byte-identical to builds that predate this method.
+func (c *Clock) Observe(remote uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if remote > c.t {
+		c.t = remote
+	}
+	c.t++
+	return c.t
+}
+
 // Stopwatch measures a simulated-time interval.
 type Stopwatch struct {
 	clock *Clock

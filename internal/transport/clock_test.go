@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+// Observe implements the Lamport receive rule: the clock jumps to
+// max(local, remote)+1, so it is strictly monotonic regardless of whether
+// the remote tick is ahead, behind, or equal.
+func TestClockObserveMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+
+	if got := c.Observe(3); got != 11 {
+		t.Fatalf("Observe(behind): got %d, want 11 (local 10 wins, +1)", got)
+	}
+	if got := c.Observe(11); got != 12 {
+		t.Fatalf("Observe(equal): got %d, want 12", got)
+	}
+	if got := c.Observe(100); got != 101 {
+		t.Fatalf("Observe(ahead): got %d, want 101 (remote 100 wins, +1)", got)
+	}
+	if got := c.Now(); got != 101 {
+		t.Fatalf("Now after observes: got %d, want 101", got)
+	}
+}
+
+// Two clocks exchanging observations never run backwards, even under
+// concurrent merges — every Observe strictly increases the local time.
+func TestClockObserveNeverRegresses(t *testing.T) {
+	var a, b Clock
+	a.Advance(5)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := uint64(0)
+			for j := 0; j < 1000; j++ {
+				got := b.Observe(a.Advance(1))
+				if got <= prev {
+					t.Errorf("Observe regressed: %d after %d", got, prev)
+					return
+				}
+				prev = got
+			}
+		}()
+	}
+	wg.Wait()
+
+	if b.Now() < a.Now() {
+		t.Fatalf("receiver clock %d behind sender %d after merge", b.Now(), a.Now())
+	}
+}

@@ -1,0 +1,355 @@
+// Package conformance pins every transport.Transport implementation to
+// one behavioral contract — the same pin-both-implementations pattern the
+// store.Store suite uses for persistence backends. The protocol layers
+// (dsm, core, cluster) are written against properties, not against
+// simnet: per-pair FIFO with sender-assigned Seq, loss as gaps (never
+// reorders), reentrant handlers (free to Send and Call), synchronous
+// calls whose errors cross with errors.Is fidelity, and safety under
+// concurrent use. A substrate that passes this suite can carry the
+// cluster; one that silently diverges fails it here rather than as a
+// protocol heisenbug.
+//
+// The suite abstracts over the structural difference between substrates
+// through Env: a driver-paced network (simnet) supplies a Pump that
+// delivers queued messages, a continuously-delivering one (TCP) supplies
+// a no-op Pump and delivers on its own schedule. All assertions are
+// phrased as "eventually, pumping as needed", which both satisfy.
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bmx/internal/addr"
+	"bmx/internal/transport"
+)
+
+// Env is one constructed substrate instance carrying a fixed node set.
+type Env struct {
+	// Endpoint returns the Transport a given node registers on and sends
+	// from. A shared-network substrate returns the same value for every
+	// node; a process-per-node substrate returns that node's endpoint.
+	Endpoint func(id addr.NodeID) transport.Transport
+	// Pump drives delivery on driver-paced substrates (simnet Run); it is
+	// a no-op on continuously-delivering ones.
+	Pump func()
+	// SetLoss installs an async-send drop probability on every endpoint.
+	SetLoss func(p float64)
+	// Settle, if non-nil, blocks until the substrate can route between
+	// every registered node (a multi-process mesh needs a moment to
+	// propagate node announcements; a shared network routes instantly).
+	Settle func()
+}
+
+// settle waits for routability if the substrate needs it.
+func (e *Env) settle() {
+	if e.Settle != nil {
+		e.Settle()
+	}
+}
+
+// Factory builds a fresh Env whose substrate hosts exactly the given
+// nodes (handlers are registered by the suite). Cleanup hooks belong on t.
+type Factory func(t *testing.T, nodes []addr.NodeID) *Env
+
+// ErrConformance is the sentinel the suite's callees wrap to verify that
+// registered sentinels cross Call boundaries with errors.Is fidelity.
+var ErrConformance = errors.New("conformance: expected failure")
+
+func init() {
+	transport.RegisterWireError("conformance.expected", ErrConformance)
+}
+
+// Run exercises the full contract against the factory's substrate.
+func Run(t *testing.T, f Factory) {
+	t.Run("FIFOSeq", func(t *testing.T) { testFIFOSeq(t, f) })
+	t.Run("LossIsGapNotReorder", func(t *testing.T) { testLossGap(t, f) })
+	t.Run("HandlerReentrancy", func(t *testing.T) { testReentrancy(t, f) })
+	t.Run("CallErrorPropagation", func(t *testing.T) { testCallErrors(t, f) })
+	t.Run("ConcurrentHammer", func(t *testing.T) { testHammer(t, f) })
+}
+
+// await pumps the substrate until cond holds or the deadline passes.
+func await(t *testing.T, env *Env, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		env.Pump()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// testFIFOSeq: asynchronous messages between one pair arrive in send
+// order, carrying the sender-assigned stream sequence 1..N, while an
+// interleaved stream from another sender neither reorders nor renumbers
+// them.
+func testFIFOSeq(t *testing.T, f Factory) {
+	env := f(t, []addr.NodeID{0, 1, 2})
+	var mu sync.Mutex
+	byFrom := map[addr.NodeID][]transport.Msg{}
+	env.Endpoint(1).Register(1, func(m transport.Msg) {
+		mu.Lock()
+		byFrom[m.From] = append(byFrom[m.From], m)
+		mu.Unlock()
+	}, nil)
+	env.Endpoint(0).Register(0, nil, nil)
+	env.Endpoint(2).Register(2, nil, nil)
+	env.settle()
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !env.Endpoint(0).Send(transport.Msg{From: 0, To: 1, Kind: "gc.table", Class: transport.ClassGC, Payload: i}) {
+			t.Fatalf("send %d from 0 rejected", i)
+		}
+		if !env.Endpoint(2).Send(transport.Msg{From: 2, To: 1, Kind: "gc.table", Class: transport.ClassGC, Payload: i}) {
+			t.Fatalf("send %d from 2 rejected", i)
+		}
+	}
+	await(t, env, "both streams delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(byFrom[0]) == n && len(byFrom[2]) == n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for _, from := range []addr.NodeID{0, 2} {
+		for i, m := range byFrom[from] {
+			if m.Seq != uint64(i+1) {
+				t.Fatalf("stream %v->1 message %d: Seq %d, want %d", from, i, m.Seq, i+1)
+			}
+			if m.Payload.(int) != i {
+				t.Fatalf("stream %v->1 reordered: position %d holds payload %v", from, i, m.Payload)
+			}
+		}
+	}
+}
+
+// testLossGap: a dropped send consumes its sequence number, so the
+// receiver observes a gap in Seq — never a reorder, which is the exact
+// property the scion cleaner's idempotent numbered tables rely on (§6.1).
+func testLossGap(t *testing.T, f Factory) {
+	env := f(t, []addr.NodeID{0, 1})
+	var mu sync.Mutex
+	var got []uint64
+	env.Endpoint(1).Register(1, func(m transport.Msg) {
+		mu.Lock()
+		got = append(got, m.Seq)
+		mu.Unlock()
+	}, nil)
+	env.Endpoint(0).Register(0, nil, nil)
+	env.settle()
+
+	send := func() bool {
+		return env.Endpoint(0).Send(transport.Msg{From: 0, To: 1, Kind: "gc.table", Class: transport.ClassGC})
+	}
+	if !send() {
+		t.Fatal("lossless send rejected")
+	}
+	env.SetLoss(1)
+	if send() {
+		t.Fatal("send accepted at loss rate 1")
+	}
+	env.SetLoss(0)
+	if !send() {
+		t.Fatal("post-heal send rejected")
+	}
+	await(t, env, "surviving messages", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Seq across a drop = %v, want [1 3] (gap, not renumbering)", got)
+	}
+}
+
+// testReentrancy: a handler may Send and Call on the transport that
+// invoked it — including right back at the message's sender — without
+// deadlocking the substrate.
+func testReentrancy(t *testing.T, f Factory) {
+	env := f(t, []addr.NodeID{0, 1})
+	var mu sync.Mutex
+	state := ""
+	env.Endpoint(0).Register(0, func(m transport.Msg) {
+		if m.Kind == "echo" {
+			mu.Lock()
+			state += "+echo"
+			mu.Unlock()
+		}
+	}, func(m transport.Msg) (any, int, error) {
+		return "pong", 4, nil
+	})
+	env.Endpoint(1).Register(1, func(m transport.Msg) {
+		reply, err := env.Endpoint(1).Call(transport.Msg{From: 1, To: 0, Kind: "ping", Class: transport.ClassApp})
+		if err != nil {
+			t.Errorf("call from within handler: %v", err)
+			return
+		}
+		mu.Lock()
+		state = reply.(string)
+		mu.Unlock()
+		env.Endpoint(1).Send(transport.Msg{From: 1, To: 0, Kind: "echo", Class: transport.ClassApp})
+	}, nil)
+	env.settle()
+
+	env.Endpoint(0).Send(transport.Msg{From: 0, To: 1, Kind: "kick", Class: transport.ClassApp})
+	await(t, env, "handler-driven call and send", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return state == "pong+echo"
+	})
+}
+
+// testCallErrors: a callee's error reaches the caller with its message
+// text, registered sentinels keep their errors.Is identity, and the
+// reply payload of a successful call round-trips.
+func testCallErrors(t *testing.T, f Factory) {
+	env := f(t, []addr.NodeID{0, 1})
+	env.Endpoint(1).Register(1, nil, func(m transport.Msg) (any, int, error) {
+		switch m.Kind {
+		case "fail.sentinel":
+			return nil, 0, fmt.Errorf("refusing %v: %w", m.Payload, ErrConformance)
+		case "fail.plain":
+			return nil, 0, errors.New("callee says no")
+		default:
+			return m.Payload, m.Bytes, nil
+		}
+	})
+	env.Endpoint(0).Register(0, nil, nil)
+	env.settle()
+
+	reply, err := env.Endpoint(0).Call(transport.Msg{From: 0, To: 1, Kind: "ok", Payload: "hello", Bytes: 5})
+	if err != nil || reply.(string) != "hello" {
+		t.Fatalf("successful call: reply=%v err=%v", reply, err)
+	}
+
+	_, err = env.Endpoint(0).Call(transport.Msg{From: 0, To: 1, Kind: "fail.sentinel", Payload: 7})
+	if !errors.Is(err, ErrConformance) {
+		t.Fatalf("sentinel identity lost across Call: %v", err)
+	}
+	if !strings.Contains(err.Error(), "refusing 7") {
+		t.Fatalf("error detail lost across Call: %v", err)
+	}
+
+	_, err = env.Endpoint(0).Call(transport.Msg{From: 0, To: 1, Kind: "fail.plain"})
+	if err == nil || !strings.Contains(err.Error(), "callee says no") {
+		t.Fatalf("plain error mangled across Call: %v", err)
+	}
+	if errors.Is(err, ErrConformance) {
+		t.Fatalf("plain error gained a sentinel identity: %v", err)
+	}
+}
+
+// testHammer: many goroutines sending and calling across three nodes at
+// once. The suite asserts nothing is lost (loss disabled), per-stream
+// Seq stays strictly increasing at every receiver, and every call
+// returns — under -race this doubles as the concurrent-safety check.
+func testHammer(t *testing.T, f Factory) {
+	const (
+		nodes      = 3
+		goroutines = 4
+		perG       = 40
+	)
+	ids := []addr.NodeID{0, 1, 2}
+	env := f(t, ids)
+
+	type recv struct {
+		mu   sync.Mutex
+		last map[addr.NodeID]uint64
+		n    int
+	}
+	recvs := make([]*recv, nodes)
+	for _, id := range ids {
+		r := &recv{last: make(map[addr.NodeID]uint64)}
+		recvs[id] = r
+		self := id
+		env.Endpoint(id).Register(id, func(m transport.Msg) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if m.Seq <= r.last[m.From] {
+				t.Errorf("node %v: stream %v Seq %d not after %d", self, m.From, m.Seq, r.last[m.From])
+			}
+			r.last[m.From] = m.Seq
+			r.n++
+		}, func(m transport.Msg) (any, int, error) {
+			return m.Payload, 8, nil
+		})
+	}
+	env.settle()
+
+	var wg sync.WaitGroup
+	var callErrs sync.Map
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from := addr.NodeID(g % nodes)
+			for i := 0; i < perG; i++ {
+				to := addr.NodeID((g + 1 + i%(nodes-1)) % nodes)
+				if to == from {
+					to = (to + 1) % nodes
+				}
+				if i%3 == 0 {
+					if reply, err := env.Endpoint(from).Call(transport.Msg{From: from, To: to, Kind: "hammer.call", Payload: i}); err != nil {
+						callErrs.Store(fmt.Sprintf("g%d-i%d", g, i), err)
+					} else if reply.(int) != i {
+						callErrs.Store(fmt.Sprintf("g%d-i%d", g, i), fmt.Errorf("reply %v != %d", reply, i))
+					}
+				} else {
+					env.Endpoint(from).Send(transport.Msg{From: from, To: to, Kind: "hammer.send", Class: transport.ClassGC})
+				}
+			}
+		}(g)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case <-done:
+			callErrs.Range(func(k, v any) bool {
+				t.Errorf("call %v failed: %v", k, v)
+				return true
+			})
+			// Sends were lossless here; every accepted message must land.
+			await(t, env, "all hammer sends delivered", func() bool {
+				total := 0
+				for _, r := range recvs {
+					r.mu.Lock()
+					total += r.n
+					r.mu.Unlock()
+				}
+				return total == hammerSendCount(goroutines, perG)
+			})
+			return
+		case <-deadline:
+			t.Fatal("hammer goroutines wedged")
+		default:
+			env.Pump()
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// hammerSendCount is the exact number of async sends testHammer issues.
+func hammerSendCount(goroutines, perG int) int {
+	n := 0
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if i%3 != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

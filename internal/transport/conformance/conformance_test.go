@@ -1,0 +1,68 @@
+package conformance_test
+
+import (
+	"testing"
+	"time"
+
+	"bmx/internal/addr"
+	"bmx/internal/simnet"
+	"bmx/internal/transport"
+	"bmx/internal/transport/conformance"
+	"bmx/internal/transport/tcp"
+)
+
+// The deterministic in-process network: one shared substrate for all
+// nodes, delivery driven by Pump.
+func TestConformanceSimnet(t *testing.T) {
+	conformance.Run(t, func(t *testing.T, nodes []addr.NodeID) *conformance.Env {
+		nw := simnet.New(simnet.Options{})
+		return &conformance.Env{
+			Endpoint: func(addr.NodeID) transport.Transport { return nw },
+			Pump:     func() { nw.Run(0) },
+			SetLoss:  func(p float64) { nw.SetLossRate(p) },
+		}
+	})
+}
+
+// The real-socket transport: one process-analog per node, connected in a
+// full loopback mesh, delivering continuously.
+func TestConformanceTCP(t *testing.T) {
+	conformance.Run(t, func(t *testing.T, nodes []addr.NodeID) *conformance.Env {
+		eps := make(map[addr.NodeID]*tcp.Transport, len(nodes))
+		var all []*tcp.Transport
+		for _, id := range nodes {
+			tr, err := tcp.New(tcp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { tr.Close() })
+			eps[id] = tr
+			all = append(all, tr)
+		}
+		// Full mesh: every endpoint dials every other (deduplicated to
+		// one stream per pair by the transport).
+		for i, a := range all {
+			for j, b := range all {
+				if i < j {
+					a.AddPeer(b.Addr())
+				}
+			}
+		}
+		return &conformance.Env{
+			Endpoint: func(id addr.NodeID) transport.Transport { return eps[id] },
+			Pump:     func() {},
+			SetLoss: func(p float64) {
+				for _, tr := range all {
+					tr.SetLossRate(p)
+				}
+			},
+			Settle: func() {
+				for _, tr := range all {
+					if err := tr.WaitForNodes(len(all)-1, 10*time.Second); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Wire-error registry. Protocol layers compare Call errors against sentinel
+// values with errors.Is (dsm.ErrNoOwner, transport.ErrPartitioned). In one
+// process the error value crosses the "network" intact; over a real socket
+// only a string survives, which would silently break every errors.Is site.
+// Packages therefore register their sentinels under stable names, and a
+// wire transport encodes a failed call as the sentinel's name plus detail
+// text, reconstructing an error that wraps the registered value on receipt.
+var (
+	wireErrMu  sync.Mutex
+	wireErrs   = map[string]error{}
+	wireErrSeq []string // registration order, for deterministic matching
+)
+
+// RegisterWireError records err under name so wire transports can carry it
+// across process boundaries with errors.Is fidelity. Call it from an init
+// function of the package owning the sentinel. Registering a different
+// error under an existing name panics; re-registering the same value is a
+// no-op (harmless under repeated test init).
+func RegisterWireError(name string, err error) {
+	if name == "" || err == nil {
+		panic("transport: RegisterWireError with empty name or nil error")
+	}
+	wireErrMu.Lock()
+	defer wireErrMu.Unlock()
+	if prev, ok := wireErrs[name]; ok {
+		if prev != err { //nolint:errorlint // identity check is the point
+			panic(fmt.Sprintf("transport: wire error %q registered twice with different values", name))
+		}
+		return
+	}
+	wireErrs[name] = err
+	wireErrSeq = append(wireErrSeq, name)
+}
+
+// WireErrorName returns the registered name of the first sentinel err
+// wraps, in registration order, or "" if err matches none.
+func WireErrorName(err error) string {
+	if err == nil {
+		return ""
+	}
+	wireErrMu.Lock()
+	defer wireErrMu.Unlock()
+	for _, name := range wireErrSeq {
+		if errors.Is(err, wireErrs[name]) {
+			return name
+		}
+	}
+	return ""
+}
+
+// WireError reconstructs an error from its wire form: detail text plus the
+// optional registered-sentinel name. The result prints as the original
+// detail and wraps the sentinel, so errors.Is works exactly as it does
+// in-process. An unknown or empty name yields a plain error carrying only
+// the detail.
+func WireError(name, detail string) error {
+	if name != "" {
+		wireErrMu.Lock()
+		sentinel, ok := wireErrs[name]
+		wireErrMu.Unlock()
+		if ok {
+			if detail == sentinel.Error() {
+				return sentinel
+			}
+			return &wireError{detail: detail, sentinel: sentinel}
+		}
+	}
+	return errors.New(detail)
+}
+
+// wireError is a decoded remote error: the remote side's message text,
+// wrapping the locally registered sentinel it matched.
+type wireError struct {
+	detail   string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.detail }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+func init() {
+	RegisterWireError("transport.partitioned", ErrPartitioned)
+}
