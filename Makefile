@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race chaos chaos-crash bench bench-json bench-json-sim bench-json-tcp experiments figures examples cover clean
+.PHONY: all build vet test test-short race chaos chaos-crash bench bench-json bench-json-sim bench-json-tcp bench-ref bench-gate experiments figures examples cover clean
 
 all: build vet test
 
@@ -64,6 +64,19 @@ bench-json-sim:
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store flatfs -sync flip -bench-json BENCH_6_flatfs.json
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store lsm -sync flip -bench-json BENCH_6_lsm.json
 	$(GO) run ./cmd/bmxd -nodes 3 -objects 120 -rounds 8 -workload tree -seed 5 -bench-json BENCH_7_simnet.json
+
+# Regenerate the committed regression-gate reference from a fresh run of
+# the deterministic simnet benchmarks. Commit the result when a change
+# legitimately moves the numbers.
+bench-ref: bench-json-sim
+	$(GO) run ./cmd/bmxstat -make-ref -bench BENCH_4.json,BENCH_5.json,BENCH_6_pertx.json,BENCH_6_flip.json,BENCH_6_flatfs.json,BENCH_6_lsm.json,BENCH_7_simnet.json > BENCH_REF.json
+
+# Gate the current deterministic benchmarks against the committed reference;
+# exits non-zero on drift beyond 25%. Same check CI runs in metrics-smoke.
+bench-gate: bench-json-sim
+	for b in BENCH_4 BENCH_5 BENCH_6_pertx BENCH_6_flip BENCH_6_flatfs BENCH_6_lsm BENCH_7_simnet; do \
+		$(GO) run ./cmd/bmxstat -bench $$b.json -ref BENCH_REF.json -gate 25 || exit 1; \
+	done
 
 bench-json-tcp:
 	$(GO) build -o ./bmxd.bench ./cmd/bmxd

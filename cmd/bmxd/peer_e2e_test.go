@@ -161,6 +161,30 @@ func TestThreeProcessClusterConverges(t *testing.T) {
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Tick < evs[j].Tick })
 
+	// If any assertion below fails, leave the merged stream where CI can
+	// upload it: `bmxstat -trace <artifact> -spans` then reconstructs the
+	// exact trees this test saw.
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		path := os.Getenv("BMX_SPAN_ARTIFACT")
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Logf("span artifact: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := obs.DumpJSON(f, evs); err != nil {
+			t.Logf("span artifact: %v", err)
+			return
+		}
+		t.Logf("merged trace with span events written to %s", path)
+	})
+
 	// The stream must carry both sides of the mixed run, or the claims
 	// below would hold vacuously.
 	var sawGC, sawCriticalApp bool
@@ -192,4 +216,35 @@ func TestThreeProcessClusterConverges(t *testing.T) {
 	if bad := obs.NonScion(crit); len(bad) != 0 {
 		t.Fatalf("%d non-piggybacked GC messages on the critical path; first: %v", len(bad), bad[0])
 	}
+
+	// Span stitching: the three captures must reconstruct at least one
+	// COMPLETE cross-process acquire tree — an acquire span whose descendants
+	// include a serve.acquire on another process, with no orphaned span and
+	// every begin paired with its end. A missing wire hop or a broken ID
+	// would surface here as an orphan.
+	traces := obs.BuildSpanTraces(evs)
+	if len(traces) == 0 {
+		t.Fatal("merged stream carries no span events (tracing was on via -trace-out)")
+	}
+	completeCross := 0
+	for _, tr := range traces {
+		if tr.Complete() && tr.CrossProcess() {
+			completeCross++
+			// The paper's §4.4, per trace: an acquire tree must carry no
+			// non-scion GC-class message inside its critical-path spans.
+			if v := tr.Verdict(); !v.Clean() {
+				t.Errorf("trace %x: %d GC-class messages inside critical-path spans; first: %v",
+					tr.ID, len(v.GCMessages), v.GCMessages[0])
+			}
+		}
+	}
+	if completeCross == 0 {
+		orphans := 0
+		for _, tr := range traces {
+			orphans += len(tr.Orphans)
+		}
+		t.Fatalf("no complete cross-process acquire trace stitched from %d traces (%d orphaned spans)",
+			len(traces), orphans)
+	}
+	t.Logf("span stitching: %d traces, %d complete cross-process acquire trees", len(traces), completeCross)
 }

@@ -12,6 +12,8 @@
 //	bmxstat -trace run.ndjson -oid O36        # one object's biography
 //	bmxstat -trace run.ndjson -top 20         # more hot objects
 //	bmxstat -series a.ndjson -diff b.ndjson   # A/B two runs' series
+//	bmxstat -trace n0.ndjson,n1.ndjson -spans # cross-process span trees
+//	bmxstat -bench BENCH_6_flip.json -ref BENCH_REF.json -gate 25  # perf gate
 package main
 
 import (
@@ -52,13 +54,31 @@ func main() {
 		benchPath  = flag.String("bench", "", "benchmark summary JSON to analyze (a bmxd -bench-json artifact; - for stdin)")
 		diffPath   = flag.String("diff", "", "second run to compare against -series (time-series NDJSON) or -bench (summary JSON); prints an A/B comparison")
 		oidFlag    = flag.String("oid", "", "print the biography of this object (accepts 36 or O36)")
-		topN       = flag.Int("top", 10, "how many hot objects the overview lists")
+		topN       = flag.Int("top", 10, "how many hot objects the overview lists (and how many slowest acquires -spans renders)")
 		asJSON     = flag.Bool("json", false, "machine-readable output")
+		spansFlag  = flag.Bool("spans", false, "reconstruct cross-process span trees from -trace (comma-separated per-process captures) and print latency attribution plus the per-trace §4.4 verdict")
+		refPath    = flag.String("ref", "", "benchmark reference document (BENCH_REF.json) for -gate")
+		gatePct    = flag.Float64("gate", 0, "with -bench and -ref: allowed upward drift in percent; exits 1 when a gated metric regressed further")
+		makeRefFlg = flag.Bool("make-ref", false, "merge the -bench list (comma-separated envelopes) into a reference document on stdout")
 	)
 	flag.Parse()
 	if *tracePath == "" && *seriesPath == "" && *benchPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *makeRefFlg {
+		if *benchPath == "" {
+			fail(fmt.Errorf("-make-ref needs -bench with the envelope list"))
+		}
+		makeRef(*benchPath)
+		return
+	}
+	if *gatePct > 0 {
+		if *benchPath == "" || *refPath == "" {
+			fail(fmt.Errorf("-gate needs -bench and -ref"))
+		}
+		runGate(*benchPath, *refPath, *gatePct)
+		return
 	}
 
 	var evs []obs.Event
@@ -95,6 +115,11 @@ func main() {
 	}
 
 	switch {
+	case *spansFlag:
+		if evs == nil {
+			fail(fmt.Errorf("-spans needs -trace"))
+		}
+		printSpans(evs, *topN, *asJSON)
 	case *oidFlag != "":
 		if evs == nil {
 			fail(fmt.Errorf("-oid needs -trace"))

@@ -338,6 +338,7 @@ func (cl *Cluster) lockObject(o addr.OID) func() {
 // ---- message routing --------------------------------------------------------
 
 func (n *Node) handleAsync(m transport.Msg) {
+	defer n.rec.StartServerSpan(obs.ServeOpOf(m.Kind), addr.NilOID, m.Span).End()
 	defer n.lock()()
 	switch {
 	case strings.HasPrefix(m.Kind, "dsm."):
@@ -356,6 +357,10 @@ func (n *Node) handleCall(m transport.Msg) (any, int, error) {
 		n.rec.EnterCritical()
 		defer n.rec.ExitCritical()
 	}
+	// The server span parents under the caller's wire-carried span, so the
+	// trace tree shows this hop (and any forwarding hops it performs) nested
+	// inside the remote mutator's operation.
+	defer n.rec.StartServerSpan(obs.ServeOpOf(m.Kind), addr.NilOID, m.Span).End()
 	defer n.lock()()
 	switch {
 	case strings.HasPrefix(m.Kind, "dsm."):
@@ -436,6 +441,7 @@ func (n *Node) NewBunch() addr.BunchID {
 // segment images from a node already holding a replica. Mapped bunches are
 // kept weakly consistent from then on (§2.1).
 func (n *Node) MapBunch(b addr.BunchID) error {
+	defer n.rec.StartSpan(obs.OpMapBunch, addr.NilOID).End()
 	defer n.critical()()
 	defer n.lock()()
 	return n.mapBunchLocked(b)
@@ -531,6 +537,7 @@ func (n *Node) UnmapBunch(b addr.BunchID) error {
 
 // CollectBunch runs the BGC on this node's replica of b (§4).
 func (n *Node) CollectBunch(b addr.BunchID) core.CollectStats {
+	defer n.rec.StartSpan(obs.OpGCBunch, addr.NilOID).End()
 	defer n.lock()()
 	return n.col.CollectBunch(b)
 }
@@ -539,6 +546,7 @@ func (n *Node) CollectBunch(b addr.BunchID) core.CollectStats {
 // with the node's lock released so it can use the full mutator API, exactly
 // like an application thread running concurrently with the collector.
 func (n *Node) CollectBunchOpts(b addr.BunchID, opts core.CollectOpts) core.CollectStats {
+	defer n.rec.StartSpan(obs.OpGCBunch, addr.NilOID).End()
 	defer n.lock()()
 	if f := opts.DuringTrace; f != nil {
 		opts.DuringTrace = func() {
@@ -558,6 +566,7 @@ func (n *Node) CollectBunchOpts(b addr.BunchID, opts core.CollectOpts) core.Coll
 // the collections serially under the node lock, exactly like a CollectBunch
 // loop.
 func (n *Node) CollectBunches(bunches []addr.BunchID, workers int) core.CollectStats {
+	defer n.rec.StartSpan(obs.OpGCBunch, addr.NilOID).End()
 	if workers <= 1 {
 		defer n.lock()()
 		return n.col.CollectBunchesParallel(bunches, core.CollectOpts{})
@@ -574,6 +583,7 @@ func (n *Node) CollectBunches(bunches []addr.BunchID, workers int) core.CollectS
 // CollectGroup runs the GGC (§7) on the given group, or on every locally
 // mapped bunch when group is nil (the locality heuristic).
 func (n *Node) CollectGroup(group []addr.BunchID) core.CollectStats {
+	defer n.rec.StartSpan(obs.OpGCGroup, addr.NilOID).End()
 	defer n.lock()()
 	return n.col.CollectGroup(group)
 }
@@ -588,18 +598,21 @@ func (n *Node) ConnectedGroups() [][]addr.BunchID {
 // CollectConnectedGroups runs one group collection per SSP-connected
 // component.
 func (n *Node) CollectConnectedGroups() core.CollectStats {
+	defer n.rec.StartSpan(obs.OpGCGroup, addr.NilOID).End()
 	defer n.lock()()
 	return n.col.CollectConnectedGroups()
 }
 
 // ReclaimFromSpace runs the §4.5 from-space reuse protocol for bunch b.
 func (n *Node) ReclaimFromSpace(b addr.BunchID) core.ReclaimStats {
+	defer n.rec.StartSpan(obs.OpGCReclaim, addr.NilOID).End()
 	defer n.lock()()
 	return n.col.ReclaimFromSpace(b)
 }
 
 // FlushLocations pushes pending location updates as background messages.
 func (n *Node) FlushLocations() {
+	defer n.rec.StartSpan(obs.OpGCFlush, addr.NilOID).End()
 	defer n.lock()()
 	n.col.FlushLocations()
 }

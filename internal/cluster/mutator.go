@@ -5,6 +5,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/dsm"
+	"bmx/internal/obs"
 	"bmx/internal/transport"
 )
 
@@ -32,6 +33,7 @@ func (r Ref) String() string { return r.OID.String() }
 // two before the next collection, exactly as a real mutator keeps new
 // objects on its stack.
 func (n *Node) Alloc(b addr.BunchID, size int) (Ref, error) {
+	defer n.rec.StartSpan(obs.OpAlloc, addr.NilOID).End()
 	defer n.critical()()
 	defer n.lock()()
 	oid, err := n.col.Alloc(b, size)
@@ -78,6 +80,11 @@ func (n *Node) AcquireWrite(r Ref) error { return n.acquireToken(r, dsm.ModeWrit
 // concurrent acquires of one object cannot interleave their forwarding
 // hops), then performs the acquire under the node lock.
 func (n *Node) acquireToken(r Ref, mode dsm.Mode) error {
+	op := obs.OpAcquireR
+	if mode == dsm.ModeWrite {
+		op = obs.OpAcquireW
+	}
+	defer n.rec.StartSpan(op, r.OID).End()
 	defer n.critical()()
 	defer n.cl.lockObject(r.OID)()
 	defer n.lock()()
@@ -124,6 +131,7 @@ func (n *Node) Release(r Ref) {
 // hold obj's write token. Every write passes the write barrier (§3.2),
 // which constructs inter-bunch SSPs as needed.
 func (n *Node) WriteRef(obj Ref, i int, target Ref) error {
+	defer n.rec.StartSpan(obs.OpWriteRef, obj.OID).End()
 	defer n.critical()()
 	defer n.lock()()
 	heap := n.col.Heap()
@@ -171,6 +179,7 @@ func (n *Node) WriteRef(obj Ref, i int, target Ref) error {
 
 // WriteWord stores a scalar in field i of obj (write token required).
 func (n *Node) WriteWord(obj Ref, i int, v uint64) error {
+	defer n.rec.StartSpan(obs.OpWriteWord, obj.OID).End()
 	defer n.critical()()
 	defer n.lock()()
 	unlock := n.col.LockObject(obj.OID)

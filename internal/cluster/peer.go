@@ -11,6 +11,7 @@ import (
 	"bmx/internal/core"
 	"bmx/internal/dsm"
 	"bmx/internal/mem"
+	"bmx/internal/obs"
 	"bmx/internal/transport"
 	"bmx/internal/transport/tcp"
 )
@@ -103,25 +104,32 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 func (p *Peer) handleCall(m transport.Msg) (any, int, error) {
 	switch {
 	case strings.HasPrefix(m.Kind, "dir."):
+		defer p.n.rec.StartServerSpan(obs.OpServeDir, addr.NilOID, m.Span).End()
 		d, ok := p.cl.dir.(*core.Directory)
 		if !ok {
 			return nil, 0, fmt.Errorf("cluster: dir call %q reached non-seed node %v", m.Kind, p.id)
 		}
 		return serveDir(d, m)
 	case strings.HasPrefix(m.Kind, "ctl."):
+		defer p.n.rec.StartServerSpan(obs.OpServeCtl, addr.NilOID, m.Span).End()
 		if h := p.ctl.Load(); h != nil {
 			return (*h)(m)
 		}
 		return nil, 0, fmt.Errorf("cluster: no control handler at node %v for %q", p.id, m.Kind)
 	}
+	// Everything else falls through to the node's ordinary dispatch, which
+	// opens its own server span.
 	return p.n.handleCall(m)
 }
 
 // SetControl installs the driver's handler for "ctl.*" calls.
 func (p *Peer) SetControl(h transport.CallHandler) { p.ctl.Store(&h) }
 
-// Control sends one driver-protocol call to another process's node.
+// Control sends one driver-protocol call to another process's node. The
+// call runs under a ctl.drive span, so everything the remote node does to
+// serve it — including any cross-process acquires — traces back here.
 func (p *Peer) Control(to addr.NodeID, kind string, payload any, bytes int) (any, error) {
+	defer p.n.rec.StartSpan(obs.OpCtl, addr.NilOID).End()
 	return p.tr.Call(transport.Msg{
 		From: p.id, To: to, Kind: kind, Class: transport.ClassApp,
 		Payload: payload, Bytes: bytes,

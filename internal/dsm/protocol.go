@@ -165,6 +165,11 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 		return nil
 	}
 
+	// The token is remote: the whole owner-chain exchange — forwarding hops,
+	// the reroute retry, and reply processing — runs under one requester-side
+	// span, so the trace tree separates network time from local bookkeeping.
+	defer n.rec.StartSpan(obs.OpAcquireRemote, o).End()
+
 	target := st.OwnerPtr
 	if target == addr.NoNode {
 		n.rec.Emit(obs.Event{Kind: obs.KRouteDangling, Class: obs.Class(class), OID: o})

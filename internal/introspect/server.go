@@ -12,6 +12,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
@@ -37,6 +39,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/events", s.events)
 	mux.HandleFunc("/objects/", s.object)
 	mux.HandleFunc("/series", s.series)
+	mux.HandleFunc("/spans", s.spans)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -64,10 +67,11 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprint(w, `bmx introspection
-  /metrics          Prometheus text exposition (counters + histograms)
+  /metrics          Prometheus text exposition (counters + histograms + gauges)
   /events           flight-recorder window as NDJSON (?oid=36 to filter)
   /objects/<oid>    object biography as JSON (accepts 36 or O36)
   /series           time-series sampler window as NDJSON
+  /spans            span begin/end events from the retained window as NDJSON
   /debug/pprof/     Go runtime profiles
 `)
 }
@@ -86,7 +90,45 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePromGauges(w, runtimeGauges())
 	obs.WritePromText(w, counters, hists)
+}
+
+// runtimeGauges reports the process's build identity and Go runtime health
+// alongside the protocol metrics, so a scrape alone answers "what build is
+// this and is the process itself sound".
+func runtimeGauges() []obs.PromGauge {
+	goVersion, module := runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		module = bi.Main.Path
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []obs.PromGauge{
+		{Name: "build.info", Help: "Build identity (constant 1, labels carry the data).",
+			Labels: map[string]string{"go_version": goVersion, "module": module}, Value: 1},
+		{Name: "goroutines", Help: "Current number of goroutines.",
+			Value: float64(runtime.NumGoroutine())},
+		{Name: "heap.alloc.bytes", Help: "Bytes of allocated heap objects.",
+			Value: float64(ms.HeapAlloc)},
+		{Name: "heap.objects", Help: "Number of allocated heap objects.",
+			Value: float64(ms.HeapObjects)},
+	}
+}
+
+// spans serves the span begin/end events of the retained window as NDJSON —
+// the live form of what `bmxstat -spans` stitches offline across processes.
+func (s *Server) spans(w http.ResponseWriter, _ *http.Request) {
+	var spans []obs.Event
+	if s.Observer != nil {
+		for _, e := range s.Observer.Events() {
+			if e.Kind == obs.KSpanBegin || e.Kind == obs.KSpanEnd {
+				spans = append(spans, e)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	obs.DumpJSON(w, spans)
 }
 
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {

@@ -86,6 +86,52 @@ func TestMetricsEndpointIsValidPromText(t *testing.T) {
 	if !ok || h.Type != "histogram" {
 		t.Fatal("bmx_dsm_acquire_hops histogram missing")
 	}
+	// The runtime gauges ride the same scrape.
+	bi, ok := fams["bmx_build_info"]
+	if !ok || bi.Type != "gauge" {
+		t.Fatal("bmx_build_info gauge missing")
+	}
+	s0 := bi.Samples["bmx_build_info"][0]
+	if s0.Value != 1 || s0.Labels["go_version"] == "" {
+		t.Fatalf("build info sample = %+v", s0)
+	}
+	gr, ok := fams["bmx_goroutines"]
+	if !ok || gr.Type != "gauge" || gr.Samples["bmx_goroutines"][0].Value <= 0 {
+		t.Fatalf("goroutine gauge wrong: %+v", gr)
+	}
+	if ha, ok := fams["bmx_heap_alloc_bytes"]; !ok || ha.Type != "gauge" {
+		t.Fatal("bmx_heap_alloc_bytes gauge missing")
+	}
+	// The span-latency histograms registered by the tracer serve too.
+	if sp, ok := fams["bmx_span_ticks_op_acquire_w"]; !ok || sp.Type != "histogram" {
+		t.Fatal("span latency histogram missing from /metrics")
+	}
+}
+
+func TestSpansEndpointServesSpanEvents(t *testing.T) {
+	_, s := newServedCluster(t)
+	code, body := get(t, s, s.URL+"/spans")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	evs, err := obs.ReadEventsNDJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/spans is not parseable NDJSON: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no span events served (the workload acquires, so spans must exist)")
+	}
+	for _, e := range evs {
+		if e.Kind != obs.KSpanBegin && e.Kind != obs.KSpanEnd {
+			t.Fatalf("/spans leaked non-span event %v", e)
+		}
+		if e.Span == 0 {
+			t.Fatalf("span event with zero span ID: %v", e)
+		}
+	}
+	if traces := obs.BuildSpanTraces(evs); len(traces) == 0 {
+		t.Fatal("served span events do not reconstruct into any trace")
+	}
 }
 
 func TestEventsEndpointServesNDJSON(t *testing.T) {

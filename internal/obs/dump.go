@@ -35,6 +35,11 @@ type eventJSON struct {
 	Crit  bool   `json:"crit,omitempty"`
 	Owned bool   `json:"owned,omitempty"`
 	Group bool   `json:"group,omitempty"`
+
+	Trace   uint64 `json:"trace,omitempty"`
+	Span    uint64 `json:"span,omitempty"`
+	SParent uint64 `json:"parent,omitempty"`
+	Op      string `json:"op,omitempty"`
 }
 
 func toJSON(e Event) eventJSON {
@@ -43,6 +48,10 @@ func toJSON(e Event) eventJSON {
 		Kind: e.Kind.String(), Class: e.Class.String(),
 		OID: uint64(e.OID), A: e.A, B: e.B,
 		Crit: e.Critical(), Owned: e.Owned(), Group: e.Flags&FlagGroup != 0,
+		Trace: e.Trace, Span: e.Span, SParent: e.SParent,
+	}
+	if e.Op != OpNone {
+		j.Op = e.Op.String()
 	}
 	if e.Msg != MsgNone {
 		j.Msg = e.Msg.String()

@@ -74,6 +74,11 @@ const (
 	KFatal    // fatal protocol error; the flight-recorder window was dumped
 
 	KGCWorker // one parallel-GC worker finished: A=worker index, B=bunches handled
+
+	// Causal span tracing (see span.go). Span events carry the span identity
+	// in the Trace/Span/SParent fields and the operation in Op.
+	KSpanBegin // span opened: Op says what it measures
+	KSpanEnd   // span closed: B=elapsed simulated ticks
 )
 
 var kindNames = [...]string{
@@ -113,6 +118,8 @@ var kindNames = [...]string{
 	KSnapshot:      "cl.snapshot",
 	KFatal:         "fatal",
 	KGCWorker:      "gc.worker",
+	KSpanBegin:     "span.begin",
+	KSpanEnd:       "span.end",
 }
 
 // kindPeers marks the kinds whose From/To fields carry meaning; for every
@@ -259,6 +266,16 @@ type Event struct {
 	From  addr.NodeID // kind-specific peer (sender, requester), NoNode if none
 	To    addr.NodeID // kind-specific peer (destination, next hop), NoNode if none
 	A, B  int64       // kind-specific scalars (see the kind constants)
+
+	// Span attribution (see span.go). For span.begin/span.end events these
+	// identify the span itself; for every other kind they name the span the
+	// event occurred inside (the emitting node's innermost open span, or the
+	// span carried on the wire message for net.* events). All zero when the
+	// event happened outside any span.
+	Trace   uint64
+	Span    uint64
+	SParent uint64
+	Op      SpanOp // what a span event measures, OpNone otherwise
 }
 
 // Critical reports whether the event was emitted on the application's
@@ -290,6 +307,15 @@ func (e Event) String() string {
 	}
 	if e.A != 0 || e.B != 0 {
 		s += fmt.Sprintf(" a=%d b=%d", e.A, e.B)
+	}
+	if e.Op != OpNone {
+		s += fmt.Sprintf(" op=%v", e.Op)
+	}
+	if e.Span != 0 {
+		s += fmt.Sprintf(" trace=%x span=%x", e.Trace, e.Span)
+		if e.SParent != 0 {
+			s += fmt.Sprintf(" parent=%x", e.SParent)
+		}
 	}
 	if e.Critical() {
 		s += " [crit]"

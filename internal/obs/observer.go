@@ -22,6 +22,12 @@ type Observer struct {
 	seq     atomic.Uint64
 	tick    atomic.Pointer[func() uint64]
 
+	// Span machinery (span.go): the cluster-wide span ID sequence and the
+	// per-op latency histogram cache (so closing a span skips the registry
+	// lock).
+	spanSeq   atomic.Uint64
+	spanHists [numSpanOps]atomic.Pointer[Histogram]
+
 	mu    sync.Mutex
 	recs  map[addr.NodeID]*Recorder
 	hists map[string]*Histogram
@@ -170,6 +176,9 @@ func (o *Observer) Reset() {
 	o.mu.Lock()
 	o.hists = make(map[string]*Histogram)
 	o.mu.Unlock()
+	for i := range o.spanHists {
+		o.spanHists[i].Store(nil)
+	}
 }
 
 // SetFatalSink directs fatal flight-recorder dumps to w (default: stderr).

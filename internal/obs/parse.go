@@ -32,6 +32,15 @@ var (
 		}
 		return m
 	}()
+	opByName = func() map[string]SpanOp {
+		m := make(map[string]SpanOp, len(opNames))
+		for k, name := range opNames {
+			if name != "" {
+				m[name] = SpanOp(k)
+			}
+		}
+		return m
+	}()
 )
 
 func fromJSON(j eventJSON) (Event, error) {
@@ -43,6 +52,14 @@ func fromJSON(j eventJSON) (Event, error) {
 		Seq: j.Seq, Tick: j.Tick, Node: addr.NodeID(j.Node), Kind: k,
 		OID: addr.OID(j.OID), A: j.A, B: j.B,
 		From: addr.NoNode, To: addr.NoNode,
+		Trace: j.Trace, Span: j.Span, SParent: j.SParent,
+	}
+	if j.Op != "" {
+		op, ok := opByName[j.Op]
+		if !ok {
+			return Event{}, fmt.Errorf("unknown span op %q", j.Op)
+		}
+		e.Op = op
 	}
 	switch j.Class {
 	case "app":

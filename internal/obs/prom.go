@@ -61,6 +61,46 @@ func WritePromText(w io.Writer, counters map[string]int64, hists []HistSnapshot)
 	return bw.Flush()
 }
 
+// PromGauge is one gauge sample for the exposition writer: a point-in-time
+// value (build identity, goroutine count, heap size) as opposed to the
+// cumulative counters above.
+type PromGauge struct {
+	Name   string // dotted internal name, converted by promName
+	Help   string
+	Labels map[string]string
+	Value  float64
+}
+
+// WritePromGauges renders gauge families in the same exposition format.
+// Labels are emitted in sorted order so the output is deterministic.
+func WritePromGauges(w io.Writer, gauges []PromGauge) error {
+	bw := bufio.NewWriter(w)
+	seen := map[string]bool{}
+	for _, g := range gauges {
+		n := promName(g.Name)
+		if !seen[n] {
+			seen[n] = true
+			fmt.Fprintf(bw, "# HELP %s %s\n", n, g.Help)
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+		}
+		if len(g.Labels) == 0 {
+			fmt.Fprintf(bw, "%s %g\n", n, g.Value)
+			continue
+		}
+		keys := make([]string, 0, len(g.Labels))
+		for k := range g.Labels {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		pairs := make([]string, 0, len(keys))
+		for _, k := range keys {
+			pairs = append(pairs, fmt.Sprintf("%s=%q", k, g.Labels[k]))
+		}
+		fmt.Fprintf(bw, "%s{%s} %g\n", n, strings.Join(pairs, ","), g.Value)
+	}
+	return bw.Flush()
+}
+
 // PromSample is one parsed exposition sample.
 type PromSample struct {
 	Labels map[string]string

@@ -66,6 +66,54 @@ func TestPromTextRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPromGaugesRoundTrip renders the gauge families the introspection
+// server prepends to /metrics — labelled build info plus bare runtime
+// gauges — and feeds them through the strict parser alongside counters and
+// histograms, exactly the mixed stream a real scrape sees.
+func TestPromGaugesRoundTrip(t *testing.T) {
+	gauges := []PromGauge{
+		{Name: "build.info", Help: "Build identity.",
+			Labels: map[string]string{"go_version": "go1.22.0", "module": "bmx"}, Value: 1},
+		{Name: "goroutines", Help: "Current number of goroutines.", Value: 17},
+		{Name: "heap.alloc.bytes", Help: "Bytes of allocated heap objects.", Value: 1 << 20},
+	}
+	counters := map[string]int64{"msg.sent.app": 3}
+	h := &Histogram{name: "acquire.hops"}
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := WritePromGauges(&buf, gauges); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePromText(&buf, counters, []HistSnapshot{h.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	fams, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("gauge render does not parse: %v\n%s", err, text)
+	}
+	bi, ok := fams["bmx_build_info"]
+	if !ok || bi.Type != "gauge" {
+		t.Fatalf("bmx_build_info family missing or mistyped: %+v", fams)
+	}
+	s := bi.Samples["bmx_build_info"][0]
+	if s.Value != 1 || s.Labels["go_version"] != "go1.22.0" || s.Labels["module"] != "bmx" {
+		t.Fatalf("build info sample = %+v", s)
+	}
+	gr, ok := fams["bmx_goroutines"]
+	if !ok || gr.Type != "gauge" || gr.Samples["bmx_goroutines"][0].Value != 17 {
+		t.Fatalf("goroutines gauge wrong: %+v", gr)
+	}
+	if _, ok := fams["bmx_msg_sent_app"]; !ok {
+		t.Fatal("counters did not survive being mixed with gauges")
+	}
+	if _, ok := fams["bmx_acquire_hops"]; !ok {
+		t.Fatal("histogram did not survive being mixed with gauges")
+	}
+}
+
 func TestPromParserRejectsMalformed(t *testing.T) {
 	bad := []string{
 		"bmx_orphan 3\n", // sample with no TYPE

@@ -27,6 +27,10 @@ type Recorder struct {
 	mu    sync.Mutex
 	buf   []Event
 	total uint64 // events ever emitted (buf holds the last len(buf) of them)
+	// spans is the node's stack of open spans (see span.go): the top is the
+	// current span, stamped onto outgoing messages and onto events emitted
+	// without explicit span attribution. Only touched while enabled.
+	spans []SpanContext
 }
 
 // Node returns the recorder's node.
@@ -66,6 +70,13 @@ func (r *Recorder) Emit(e Event) {
 		e.Flags |= FlagCritical
 	}
 	r.mu.Lock()
+	// Attribute the event to the node's current span unless the caller
+	// already set one (span.begin/end carry their own identity; transports
+	// stamp net.* events with the span that rode the message).
+	if e.Span == 0 && len(r.spans) > 0 {
+		top := r.spans[len(r.spans)-1]
+		e.Trace, e.Span = top.Trace, top.Span
+	}
 	if r.buf == nil {
 		r.buf = make([]Event, r.o.ringSize())
 	}

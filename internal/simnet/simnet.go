@@ -227,6 +227,14 @@ func (nw *Network) Faults() FaultPlan {
 // consumes no RNG and leaves deterministic runs unchanged. Send reports
 // whether the message was enqueued.
 func (nw *Network) Send(m Msg) bool {
+	// Causal span propagation: with tracing enabled, a message not already
+	// carrying a span inherits the sender's current one. Disabled, this is
+	// one atomic load and the envelope stays zero.
+	if !m.Span.Valid() {
+		if o := nw.stats.Observer(); o.Enabled() {
+			m.Span = o.Recorder(m.From).CurrentSpan()
+		}
+	}
 	nw.mu.Lock()
 	p := pair{m.From, m.To}
 	q := nw.queues[p]
@@ -278,7 +286,8 @@ func (nw *Network) Send(m Msg) bool {
 		r := o.Recorder(m.From)
 		mk := obs.MsgKindOf(m.Kind)
 		r.Emit(obs.Event{Kind: obs.KSend, Class: obs.Class(m.Class), Msg: mk,
-			From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback)})
+			From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback),
+			Trace: m.Span.Trace, Span: m.Span.Span})
 		switch {
 		case partitioned:
 			r.Emit(obs.Event{Kind: obs.KPartition, Class: obs.Class(m.Class), Msg: mk, From: m.From, To: m.To})
@@ -320,6 +329,11 @@ func (nw *Network) Send(m Msg) bool {
 // written against — but a partition severs them: Call then returns an error
 // wrapping transport.ErrPartitioned, which callers must tolerate or surface.
 func (nw *Network) Call(m Msg) (any, error) {
+	if !m.Span.Valid() {
+		if o := nw.stats.Observer(); o.Enabled() {
+			m.Span = o.Recorder(m.From).CurrentSpan()
+		}
+	}
 	nw.mu.Lock()
 	h := nw.callees[m.To]
 	lat := nw.opts.CallLatency
@@ -348,7 +362,8 @@ func (nw *Network) Call(m Msg) (any, error) {
 	}
 	if o.Enabled() {
 		o.Recorder(m.From).Emit(obs.Event{Kind: obs.KCall, Class: obs.Class(m.Class),
-			Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback)})
+			Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback),
+			Trace: m.Span.Trace, Span: m.Span.Span})
 	}
 
 	reply, replyBytes, err := h(m)
@@ -359,7 +374,8 @@ func (nw *Network) Call(m Msg) (any, error) {
 	nw.stats.Add("bytes.sent."+m.Class.String(), int64(replyBytes))
 	if o.Enabled() {
 		o.Recorder(m.From).Emit(obs.Event{Kind: obs.KCallReply, Class: obs.Class(m.Class),
-			Msg: obs.MsgKindOf(m.Kind), From: m.To, To: m.From, A: int64(replyBytes)})
+			Msg: obs.MsgKindOf(m.Kind), From: m.To, To: m.From, A: int64(replyBytes),
+			Trace: m.Span.Trace, Span: m.Span.Span})
 	}
 	return reply, err
 }
@@ -440,7 +456,8 @@ func (nw *Network) dispatch(m Msg, h Handler) {
 	nw.stats.Add("msg.delivered", 1)
 	if o := nw.stats.Observer(); o.Enabled() {
 		o.Recorder(m.To).Emit(obs.Event{Kind: obs.KDeliver, Class: obs.Class(m.Class),
-			Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes)})
+			Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes),
+			Trace: m.Span.Trace, Span: m.Span.Span})
 	}
 	if h != nil {
 		h(m)

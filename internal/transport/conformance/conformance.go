@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"bmx/internal/addr"
+	"bmx/internal/obs"
 	"bmx/internal/transport"
 )
 
@@ -70,6 +71,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("LossIsGapNotReorder", func(t *testing.T) { testLossGap(t, f) })
 	t.Run("HandlerReentrancy", func(t *testing.T) { testReentrancy(t, f) })
 	t.Run("CallErrorPropagation", func(t *testing.T) { testCallErrors(t, f) })
+	t.Run("SpanPropagation", func(t *testing.T) { testSpanPropagation(t, f) })
 	t.Run("ConcurrentHammer", func(t *testing.T) { testHammer(t, f) })
 }
 
@@ -246,6 +248,67 @@ func testCallErrors(t *testing.T, f Factory) {
 	}
 	if errors.Is(err, ErrConformance) {
 		t.Fatalf("plain error gained a sentinel identity: %v", err)
+	}
+}
+
+// testSpanPropagation: a span context explicitly set on a Msg crosses the
+// substrate intact on both Send and Call paths, and a message sent with no
+// span (and no enclosing span, tracing off) arrives with the zero context —
+// the tracing-off wire format must not invent one.
+func testSpanPropagation(t *testing.T, f Factory) {
+	env := f(t, []addr.NodeID{0, 1})
+	want := obs.SpanContext{Trace: 0xabc123, Span: 0xdef456, Parent: 0x789}
+	var mu sync.Mutex
+	var gotSend, gotCall obs.SpanContext
+	var sawSend, sawCall bool
+	env.Endpoint(1).Register(1, func(m transport.Msg) {
+		mu.Lock()
+		gotSend, sawSend = m.Span, true
+		mu.Unlock()
+	}, func(m transport.Msg) (any, int, error) {
+		mu.Lock()
+		gotCall, sawCall = m.Span, true
+		mu.Unlock()
+		return nil, 0, nil
+	})
+	env.Endpoint(0).Register(0, nil, nil)
+	env.settle()
+
+	if !env.Endpoint(0).Send(transport.Msg{From: 0, To: 1, Kind: "span.send", Class: transport.ClassApp, Span: want}) {
+		t.Fatal("span-bearing send rejected")
+	}
+	if _, err := env.Endpoint(0).Call(transport.Msg{From: 0, To: 1, Kind: "span.call", Class: transport.ClassApp, Span: want}); err != nil {
+		t.Fatalf("span-bearing call: %v", err)
+	}
+	await(t, env, "span-bearing messages delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return sawSend && sawCall
+	})
+	mu.Lock()
+	if gotSend != want {
+		t.Fatalf("Send span context mangled: got %+v want %+v", gotSend, want)
+	}
+	if gotCall != want {
+		t.Fatalf("Call span context mangled: got %+v want %+v", gotCall, want)
+	}
+	sawSend = false
+	mu.Unlock()
+
+	// Tracing is off in this suite: a message sent without a span must
+	// arrive with the zero context.
+	if !env.Endpoint(0).Send(transport.Msg{From: 0, To: 1, Kind: "span.none", Class: transport.ClassApp}) {
+		t.Fatal("span-free send rejected")
+	}
+	await(t, env, "span-free message delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return sawSend
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if gotSend != (obs.SpanContext{}) {
+		t.Fatalf("span-free message grew a span: %+v", gotSend)
 	}
 }
 

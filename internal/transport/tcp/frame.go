@@ -73,6 +73,12 @@ type frame struct {
 	HasErr     bool
 	ErrName    string // registered sentinel name, "" if none matched
 	ErrDetail  string
+
+	// msg & call: optional causal span context (obs/span.go), encoded as a
+	// trailing field only when non-zero — a zero span's frame is
+	// byte-identical to the pre-span wire format, so tracing-off runs are
+	// pinned unchanged.
+	Trace, Span, SParent uint64
 }
 
 var (
@@ -109,6 +115,14 @@ func appendFrame(dst []byte, f *frame) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(max(f.Bytes, 0)))
 		dst = binary.AppendUvarint(dst, uint64(max(f.Piggyback, 0)))
 		dst = appendBytes(dst, f.Payload)
+		// Optional trailing span field: present iff any component is
+		// non-zero, keeping span-free frames byte-identical to the
+		// pre-span encoding.
+		if f.Trace != 0 || f.Span != 0 || f.SParent != 0 {
+			dst = binary.AppendUvarint(dst, f.Trace)
+			dst = binary.AppendUvarint(dst, f.Span)
+			dst = binary.AppendUvarint(dst, f.SParent)
+		}
 	case frameReply:
 		dst = binary.AppendUvarint(dst, f.ReqID)
 		dst = binary.AppendUvarint(dst, uint64(max(f.ReplyBytes, 0)))
@@ -201,6 +215,20 @@ func decodeFrame(body []byte) (frame, error) {
 		f.Bytes, f.Piggyback = clampInt(b), clampInt(p)
 		if f.Payload, err = r.blob(); err != nil {
 			return f, err
+		}
+		// Optional trailing span field: bytes remaining after the payload
+		// must be exactly the three span uvarints (each bounds-checked; a
+		// torn span errors as truncated, anything extra as trailing).
+		if r.rem() > 0 {
+			if f.Trace, err = r.uvarint(); err != nil {
+				return f, err
+			}
+			if f.Span, err = r.uvarint(); err != nil {
+				return f, err
+			}
+			if f.SParent, err = r.uvarint(); err != nil {
+				return f, err
+			}
 		}
 	case frameReply:
 		if f.ReqID, err = r.uvarint(); err != nil {

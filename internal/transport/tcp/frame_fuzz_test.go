@@ -27,6 +27,12 @@ func seedFrames(t testing.TB) [][]byte {
 		{Type: frameCall, Tick: 100, From: 2, To: 0, Kind: "dsm.acquireWrite", Class: transport.ClassApp,
 			ReqID: 55, Bytes: 64, Piggyback: 8, Payload: pb},
 		{Type: frameCall, Tick: 3, From: 1, To: 0, Kind: "gc.scion", Class: transport.ClassGC, ReqID: 1},
+		// Span-bearing variants: the optional trailing span field on msg and
+		// call frames.
+		{Type: frameMsg, Tick: 50, From: 0, To: 2, Kind: "gc.table", Class: transport.ClassGC,
+			Seq: 3, Payload: pb, Trace: 0xabc123, Span: 0xdef456, SParent: 0x789},
+		{Type: frameCall, Tick: 51, From: 2, To: 1, Kind: "dsm.acquire", Class: transport.ClassApp,
+			ReqID: 77, Bytes: 32, Payload: pb, Trace: 1 << 41, Span: 1<<41 | 9, SParent: 1 << 41},
 		{Type: frameReply, Tick: 101, ReqID: 55, ReplyBytes: 48, Payload: pb},
 		{Type: frameReply, Tick: 12, ReqID: 9, HasErr: true,
 			ErrName: "transport.partitioned", ErrDetail: "tcp: call dsm.acquireWrite 2 -> 0: transport: endpoints partitioned"},
@@ -73,6 +79,53 @@ func FuzzDecodeFrame(f *testing.F) {
 			t.Fatalf("round trip diverged:\n first %+v\nsecond %+v", fr, fr2)
 		}
 	})
+}
+
+// TestFrameSpanEncoding pins the span field's wire rules: a zero span adds
+// no bytes (byte-identical to the pre-span format), a non-zero span decodes
+// back exactly, and a torn span — fewer than its three uvarints after the
+// payload — errors as truncated rather than decoding partially.
+func TestFrameSpanEncoding(t *testing.T) {
+	base := frame{Type: frameMsg, Tick: 9, From: 1, To: 2, Kind: "dsm.acquire",
+		Class: transport.ClassApp, Seq: 4, Bytes: 16}
+	plain, err := appendFrame(nil, &base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanned := base
+	spanned.Trace, spanned.Span, spanned.SParent = 0x111, 0x222, 0x333
+	wire, err := appendFrame(nil, &spanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) <= len(plain) {
+		t.Fatalf("span field added no bytes: %d vs %d", len(wire), len(plain))
+	}
+	// Zero span ⇒ byte-identical to a frame that never had the field.
+	rezero := spanned
+	rezero.Trace, rezero.Span, rezero.SParent = 0, 0, 0
+	replain, err := appendFrame(nil, &rezero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, replain) {
+		t.Fatal("zero-span frame is not byte-identical to the span-free encoding")
+	}
+	got, err := decodeFrame(wire[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != 0x111 || got.Span != 0x222 || got.SParent != 0x333 {
+		t.Fatalf("span fields did not round-trip: %+v", got)
+	}
+	// Tearing the span at every cut point errors cleanly (bounds check).
+	// Cutting ALL span bytes is the legal span-free format, so the torn
+	// range starts one byte in.
+	for cut := len(plain) + 1; cut < len(wire); cut++ {
+		if _, err := decodeFrame(wire[4:cut]); err == nil {
+			t.Fatalf("torn span at %d/%d decoded successfully", cut, len(wire))
+		}
+	}
 }
 
 // A length prefix announcing more than MaxFrameBytes is rejected before

@@ -200,6 +200,14 @@ func (t *Transport) helloLocked() *frame {
 // per-destination inbox goroutines as network traffic, never
 // synchronously on the caller's stack (callers may hold node locks).
 func (t *Transport) Send(m transport.Msg) bool {
+	// Causal span propagation: with tracing enabled, a message not already
+	// carrying a span inherits the sender's current one. Disabled, this is
+	// one atomic load and the envelope stays zero (and off the wire).
+	if !m.Span.Valid() {
+		if o := t.stats.Observer(); o.Enabled() {
+			m.Span = o.Recorder(m.From).CurrentSpan()
+		}
+	}
 	t.mu.Lock()
 	k := pairKey{m.From, m.To}
 	t.seqs[k]++
@@ -246,7 +254,8 @@ func (t *Transport) Send(m transport.Msg) bool {
 		r := o.Recorder(m.From)
 		mk := obs.MsgKindOf(m.Kind)
 		r.Emit(obs.Event{Kind: obs.KSend, Class: obs.Class(m.Class), Msg: mk,
-			From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback)})
+			From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback),
+			Trace: m.Span.Trace, Span: m.Span.Span})
 		switch {
 		case partitioned:
 			r.Emit(obs.Event{Kind: obs.KPartition, Class: obs.Class(m.Class), Msg: mk, From: m.From, To: m.To})
@@ -277,6 +286,7 @@ func (t *Transport) encodeMsgLocked(ft frameType, m transport.Msg, reqID uint64)
 		From: m.From, To: m.To, Kind: m.Kind, Class: m.Class,
 		Seq: m.Seq, ReqID: reqID, Bytes: m.Bytes, Piggyback: m.Piggyback,
 		Payload: pb,
+		Trace:   m.Span.Trace, Span: m.Span.Span, SParent: m.Span.Parent,
 	})
 }
 
@@ -290,6 +300,11 @@ func (t *Transport) encodeMsgLocked(ft frameType, m transport.Msg, reqID uint64)
 // registered sentinel errors returned by the remote callee cross the wire
 // with errors.Is fidelity (see transport.RegisterWireError).
 func (t *Transport) Call(m transport.Msg) (any, error) {
+	if !m.Span.Valid() {
+		if o := t.stats.Observer(); o.Enabled() {
+			m.Span = o.Recorder(m.From).CurrentSpan()
+		}
+	}
 	t.mu.Lock()
 	partitioned := t.plan.Partitioned(m.From, m.To)
 	localCallee := t.callees[m.To]
@@ -375,7 +390,8 @@ func (t *Transport) accountCallRequest(m transport.Msg) {
 	}
 	if o := t.stats.Observer(); o.Enabled() {
 		o.Recorder(m.From).Emit(obs.Event{Kind: obs.KCall, Class: obs.Class(m.Class),
-			Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback)})
+			Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes), B: int64(m.Piggyback),
+			Trace: m.Span.Trace, Span: m.Span.Span})
 	}
 }
 
@@ -385,7 +401,8 @@ func (t *Transport) accountCallReply(m transport.Msg, replyBytes int) {
 	t.stats.Add("bytes.sent."+m.Class.String(), int64(replyBytes))
 	if o := t.stats.Observer(); o.Enabled() {
 		o.Recorder(m.From).Emit(obs.Event{Kind: obs.KCallReply, Class: obs.Class(m.Class),
-			Msg: obs.MsgKindOf(m.Kind), From: m.To, To: m.From, A: int64(replyBytes)})
+			Msg: obs.MsgKindOf(m.Kind), From: m.To, To: m.From, A: int64(replyBytes),
+			Trace: m.Span.Trace, Span: m.Span.Span})
 	}
 }
 
@@ -741,7 +758,8 @@ func (t *Transport) deliverRemote(f frame) {
 		return
 	}
 	m := transport.Msg{From: f.From, To: f.To, Kind: f.Kind, Class: f.Class,
-		Seq: f.Seq, Payload: payload, Bytes: f.Bytes, Piggyback: f.Piggyback}
+		Seq: f.Seq, Payload: payload, Bytes: f.Bytes, Piggyback: f.Piggyback,
+		Span: obs.SpanContext{Trace: f.Trace, Span: f.Span, Parent: f.SParent}}
 	t.mu.Lock()
 	ib := t.inboxes[m.To]
 	t.mu.Unlock()
@@ -770,7 +788,8 @@ func (t *Transport) serveCall(c *conn, f frame) {
 		payload, err = decodePayload(f.Payload)
 		if err == nil {
 			m := transport.Msg{From: f.From, To: f.To, Kind: f.Kind, Class: f.Class,
-				Payload: payload, Bytes: f.Bytes, Piggyback: f.Piggyback}
+				Payload: payload, Bytes: f.Bytes, Piggyback: f.Piggyback,
+				Span: obs.SpanContext{Trace: f.Trace, Span: f.Span, Parent: f.SParent}}
 			reply, rf.ReplyBytes, err = callee(m)
 		}
 	}
@@ -989,7 +1008,8 @@ func (ib *inbox) loop() {
 		ib.t.stats.Add("msg.delivered", 1)
 		if o := ib.t.stats.Observer(); o.Enabled() {
 			o.Recorder(m.To).Emit(obs.Event{Kind: obs.KDeliver, Class: obs.Class(m.Class),
-				Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes)})
+				Msg: obs.MsgKindOf(m.Kind), From: m.From, To: m.To, A: int64(m.Bytes),
+				Trace: m.Span.Trace, Span: m.Span.Span})
 		}
 		if h != nil {
 			h(m)

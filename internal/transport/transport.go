@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"bmx/internal/addr"
+	"bmx/internal/obs"
 )
 
 // Class attributes a message to the application or to the collector.
@@ -50,6 +51,14 @@ type Msg struct {
 	Payload   any
 	Bytes     int // simulated payload size in bytes
 	Piggyback int // bytes of GC information riding on an app message
+
+	// Span is the causal span riding the message (obs/span.go). Senders
+	// normally leave it zero: with tracing enabled the transport stamps the
+	// sender's current span before the message leaves, and the serving side
+	// starts a child span under it. An explicitly set non-zero Span is
+	// preserved verbatim. With tracing off it stays zero and costs nothing
+	// on the wire (the TCP codec omits the zero span byte-for-byte).
+	Span obs.SpanContext
 }
 
 // Handler consumes an asynchronous message.
