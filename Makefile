@@ -52,7 +52,10 @@ bench:
 # BENCH_7 runs the same tree workload once on the simulated network and
 # once as a real 3-process TCP cluster over loopback, and A/B-diffs them:
 # the paper's accounting figures (msgs/op, piggyback volume, zero collector
-# acquires) must survive the move to real sockets.
+# acquires) must survive the move to real sockets. The BENCH_9 pair runs the
+# skewed-locality workloads — zipf (hot-object head) and churn-heavy
+# (allocation/death storm) — whose remote-access ratio and owner-mismatch
+# count the regression gate watches.
 bench-json: bench-json-sim bench-json-tcp
 	$(GO) run ./cmd/bmxstat -bench BENCH_7_simnet.json -diff BENCH_7_tcp.json
 
@@ -64,17 +67,19 @@ bench-json-sim:
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store flatfs -sync flip -bench-json BENCH_6_flatfs.json
 	$(GO) run ./cmd/bmxd -nodes 4 -objects 200 -rounds 8 -workload tree -seed 5 -bunches 4 -store lsm -sync flip -bench-json BENCH_6_lsm.json
 	$(GO) run ./cmd/bmxd -nodes 3 -objects 120 -rounds 8 -workload tree -seed 5 -bench-json BENCH_7_simnet.json
+	$(GO) run ./cmd/bmxd -nodes 3 -objects 150 -rounds 8 -workload zipf -zipf-s 1.2 -seed 5 -bench-json BENCH_9_zipf.json
+	$(GO) run ./cmd/bmxd -nodes 3 -objects 60 -rounds 8 -workload churn-heavy -seed 5 -bench-json BENCH_9_churn.json
 
 # Regenerate the committed regression-gate reference from a fresh run of
 # the deterministic simnet benchmarks. Commit the result when a change
 # legitimately moves the numbers.
 bench-ref: bench-json-sim
-	$(GO) run ./cmd/bmxstat -make-ref -bench BENCH_4.json,BENCH_5.json,BENCH_6_pertx.json,BENCH_6_flip.json,BENCH_6_flatfs.json,BENCH_6_lsm.json,BENCH_7_simnet.json > BENCH_REF.json
+	$(GO) run ./cmd/bmxstat -make-ref -bench BENCH_4.json,BENCH_5.json,BENCH_6_pertx.json,BENCH_6_flip.json,BENCH_6_flatfs.json,BENCH_6_lsm.json,BENCH_7_simnet.json,BENCH_9_zipf.json,BENCH_9_churn.json > BENCH_REF.json
 
 # Gate the current deterministic benchmarks against the committed reference;
 # exits non-zero on drift beyond 25%. Same check CI runs in metrics-smoke.
 bench-gate: bench-json-sim
-	for b in BENCH_4 BENCH_5 BENCH_6_pertx BENCH_6_flip BENCH_6_flatfs BENCH_6_lsm BENCH_7_simnet; do \
+	for b in BENCH_4 BENCH_5 BENCH_6_pertx BENCH_6_flip BENCH_6_flatfs BENCH_6_lsm BENCH_7_simnet BENCH_9_zipf BENCH_9_churn; do \
 		$(GO) run ./cmd/bmxstat -bench $$b.json -ref BENCH_REF.json -gate 25 || exit 1; \
 	done
 

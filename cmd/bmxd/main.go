@@ -22,6 +22,7 @@ import (
 	"bmx"
 	"bmx/internal/introspect"
 	"bmx/internal/obs"
+	"bmx/internal/obs/heat"
 	"bmx/internal/store"
 	"bmx/internal/trace"
 )
@@ -31,7 +32,8 @@ func main() {
 		nodes     = flag.Int("nodes", 3, "cluster size")
 		objects   = flag.Int("objects", 100, "objects in the workload graph")
 		rounds    = flag.Int("rounds", 10, "mutate/collect rounds")
-		workload  = flag.String("workload", "list", "graph shape: list, tree, web or oo7")
+		workload  = flag.String("workload", "list", "graph shape: list, tree, web, oo7, zipf (hot-object skew) or churn-heavy (high allocation/death)")
+		zipfS     = flag.Float64("zipf-s", 1.2, "zipf workload: skew exponent (> 1; larger = hotter head)")
 		bunchN    = flag.Int("bunches", 1, "shard the workload graph across this many bunches (gives -gc-workers independent bunches to collect in parallel)")
 		protocol  = flag.String("protocol", "entry", "consistency protocol: entry or strict")
 		grain     = flag.String("grain", "object", "token granularity: object or segment")
@@ -153,6 +155,9 @@ func main() {
 	})
 	if *traceOn {
 		cl.EnableTracing()
+		// A trace run is an observability run: account access locality too,
+		// so the JSON dump carries heat rows for bmxstat -heat.
+		cl.EnableHeat()
 	}
 	intr := introspection{
 		httpAddr: *httpAddr, hold: *httpHold,
@@ -162,13 +167,13 @@ func main() {
 	if *workers > 1 {
 		runParallel(cl, *workers, *objects, *rounds, *gcEvery, *verbose)
 		dumpStats(cl, *statsJSON, nil)
-		dumpTrace(cl.Observer(), *traceOn, *traceJSON)
-		intr.finish(cl)
+		dumpTrace(cl.Observer(), *traceOn, *traceJSON, cl.Heat().Snapshot())
+		intr.finish(cl, cl.Heat().Snapshot())
 		return
 	}
 	n0 := cl.Node(0)
 	switch *workload {
-	case "list", "tree", "web", "oo7":
+	case "list", "tree", "web", "oo7", "zipf", "churn-heavy":
 	default:
 		fmt.Fprintf(os.Stderr, "bmxd: unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -211,16 +216,42 @@ func main() {
 
 	totalDead := 0
 	var gcTotal bmx.CollectStats
+	// churn-heavy's rolling live set: objects allocated by ChurnHeavyRound,
+	// oldest first; every round unroots a prefix so the cleaner always has
+	// fresh garbage.
+	var live []bmx.Ref
 	for r := 1; r <= *rounds; r++ {
 		// Mutations from a rotating node.
 		mutator := cl.Node(r % *nodes)
-		if err := trace.MutateValues(mutator, g, 10, *seed+int64(r)); err != nil {
-			fmt.Fprintln(os.Stderr, "bmxd:", err)
-			os.Exit(1)
-		}
-		if _, err := trace.Churn(n0, g, *churn/float64(*rounds), *seed+int64(r)); err != nil {
-			fmt.Fprintln(os.Stderr, "bmxd:", err)
-			os.Exit(1)
+		switch *workload {
+		case "zipf":
+			// Skewed writes, zero churn: every object stays reachable, so
+			// the hot head keeps bouncing between the rotating mutators and
+			// the heat table shows steady-state skew.
+			if err := trace.MutateZipf(mutator, g, 10, *zipfS, *seed+int64(r)); err != nil {
+				fmt.Fprintln(os.Stderr, "bmxd:", err)
+				os.Exit(1)
+			}
+		case "churn-heavy":
+			var err error
+			live, err = trace.ChurnHeavyRound(n0, bunches[0], live, 12, 8, *seed+int64(r))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bmxd:", err)
+				os.Exit(1)
+			}
+			if err := trace.MutateValues(mutator, trace.Graph{Objects: live}, 10, *seed+int64(r)); err != nil {
+				fmt.Fprintln(os.Stderr, "bmxd:", err)
+				os.Exit(1)
+			}
+		default:
+			if err := trace.MutateValues(mutator, g, 10, *seed+int64(r)); err != nil {
+				fmt.Fprintln(os.Stderr, "bmxd:", err)
+				os.Exit(1)
+			}
+			if _, err := trace.Churn(n0, g, *churn/float64(*rounds), *seed+int64(r)); err != nil {
+				fmt.Fprintln(os.Stderr, "bmxd:", err)
+				os.Exit(1)
+			}
 		}
 		// With a store, each round is one committed transaction: under
 		// -sync pertx the commit forces the log here and now; under
@@ -296,14 +327,14 @@ func main() {
 	}
 	fmt.Println()
 	dumpStats(cl, *statsJSON, &gcTotal)
-	dumpTrace(cl.Observer(), *traceOn, *traceJSON)
+	dumpTrace(cl.Observer(), *traceOn, *traceJSON, cl.Heat().Snapshot())
 
 	if st.Get("dsm.acquire.r.gc")+st.Get("dsm.acquire.w.gc") != 0 ||
 		st.Get("dsm.invalidation.gc") != 0 {
 		fmt.Fprintln(os.Stderr, "bmxd: COLLECTOR INTERFERED WITH THE CONSISTENCY PROTOCOL")
 		os.Exit(1)
 	}
-	intr.finish(cl)
+	intr.finish(cl, cl.Heat().Snapshot())
 }
 
 // buildGraph builds one workload shard of roughly `objects` objects in
@@ -322,6 +353,17 @@ func buildGraph(workload string, nd *bmx.Node, b bmx.BunchID, objects int, seed 
 		return trace.BuildWeb(nd, b, trace.WebConfig{
 			Objects: objects, OutDegree: 3, Seed: seed, DeadFrac: 0,
 		})
+	case "zipf":
+		// Fully reachable web graph: the skew comes from the access pattern
+		// (MutateZipf), not the shape, and nothing may die under the
+		// mutator's feet.
+		return trace.BuildWeb(nd, b, trace.WebConfig{
+			Objects: objects, OutDegree: 3, Seed: seed, DeadFrac: 0,
+		})
+	case "churn-heavy":
+		// A stable shared base list; the per-round allocation/death storm
+		// rides on top (ChurnHeavyRound in the driver loop).
+		return trace.BuildList(nd, b, objects)
 	case "oo7":
 		cfg := trace.DefaultOO7()
 		cfg.Seed = seed
@@ -411,6 +453,9 @@ func (in introspection) start(cl *bmx.Cluster) {
 		return
 	}
 	cl.EnableSampling(0)
+	// Heat accounting rides every introspection run: the bench summary's
+	// locality figures and the /heat endpoint both read it.
+	cl.EnableHeat()
 	if in.httpAddr == "" {
 		return
 	}
@@ -421,6 +466,7 @@ func (in introspection) start(cl *bmx.Cluster) {
 		Counters: cl.Stats().Snapshot,
 		Observer: cl.Observer(),
 		Sampler:  cl.Sampler(),
+		Heat:     cl.Heat().Snapshot,
 	}
 	bound, err := srv.Serve(in.httpAddr)
 	if err != nil {
@@ -431,8 +477,10 @@ func (in introspection) start(cl *bmx.Cluster) {
 }
 
 // finish writes the series and bench artifacts and, with -http-hold, parks
-// the process so the server stays scrapable.
-func (in introspection) finish(cl *bmx.Cluster) {
+// the process so the server stays scrapable. rows is the run's (merged, in
+// peer mode) heat table: the bench summary's owner-mismatch figure comes
+// from analyzing it.
+func (in introspection) finish(cl *bmx.Cluster, rows []heat.Row) {
 	if !in.enabled() {
 		return
 	}
@@ -460,9 +508,11 @@ func (in introspection) finish(cl *bmx.Cluster) {
 			fmt.Fprintln(os.Stderr, "bmxd:", err)
 			os.Exit(1)
 		}
+		b := cl.Sampler().Bench()
+		b.OwnerMismatchCount = int64(len(heat.Analyze(rows).Mismatches))
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(cl.Sampler().Bench()); err != nil {
+		if err := enc.Encode(b); err != nil {
 			fmt.Fprintln(os.Stderr, "bmxd:", err)
 			os.Exit(1)
 		}
@@ -569,8 +619,11 @@ func statsToJSON(w *os.File, snap map[string]int64, hists []obs.HistSummary, gc 
 	}
 }
 
-// dumpTrace prints the flight recorder's histograms and retained window.
-func dumpTrace(o *obs.Observer, on, asJSON bool) {
+// dumpTrace prints the flight recorder's histograms and retained window; in
+// JSON mode the heat rows ride along in the same NDJSON stream (each loose
+// reader skips the other's lines, so `bmxstat -heat -trace` and
+// `bmxstat -trace` both consume the one capture).
+func dumpTrace(o *obs.Observer, on, asJSON bool, rows []heat.Row) {
 	if !on {
 		return
 	}
@@ -585,6 +638,14 @@ func dumpTrace(o *obs.Observer, on, asJSON bool) {
 		obs.DumpHistograms(os.Stdout, o.Histograms())
 	}
 	dumpEvents(o.Events(), asJSON)
+	if asJSON && len(rows) > 0 {
+		fmt.Println()
+		fmt.Printf("-- heat table (%d rows) --\n", len(rows))
+		if err := heat.WriteRowsNDJSON(os.Stdout, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "bmxd:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func dumpEvents(evs []obs.Event, asJSON bool) {

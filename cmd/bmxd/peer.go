@@ -21,6 +21,7 @@ import (
 	"bmx"
 	"bmx/internal/addr"
 	"bmx/internal/obs"
+	"bmx/internal/obs/heat"
 	"bmx/internal/trace"
 	"bmx/internal/transport"
 )
@@ -38,11 +39,17 @@ type ctlAck struct{ N int }
 
 type ctlStatsReply struct{ Counters map[string]int64 }
 
+// ctlHeatReply carries one process's heat-table snapshot to the seed
+// (ctl.heat); the seed merges the snapshots by Lamport order into the
+// cluster-wide table (see PROTOCOL.md).
+type ctlHeatReply struct{ Rows []heat.Row }
+
 func init() {
 	gob.Register(ctlMapReq{})
 	gob.Register(ctlMutateReq{})
 	gob.Register(ctlAck{})
 	gob.Register(ctlStatsReply{})
+	gob.Register(ctlHeatReply{})
 }
 
 // mutatedValue is the word every commanded write stores: recomputable by
@@ -78,6 +85,10 @@ func runPeerCluster(o peerOpts) {
 	}
 	defer p.Close()
 	cl := p.Cluster()
+	// Every process accounts access locality: the seed harvests the tables
+	// over ctl.heat at the end and merges them by Lamport order, so the
+	// cluster-wide heatmap exists whether or not tracing is on.
+	cl.EnableHeat()
 	if o.traceOut != "" {
 		cl.Observer().SetRingSize(1 << 16)
 		cl.EnableTracing()
@@ -137,6 +148,9 @@ func followPeerCluster(p *bmx.Peer, o peerOpts) {
 			return ctlAck{N: st.Dead}, 8, nil
 		case "ctl.stats":
 			return ctlStatsReply{Counters: p.Cluster().Stats().Snapshot()}, 64, nil
+		case "ctl.heat":
+			rows := p.Cluster().Heat().Snapshot()
+			return ctlHeatReply{Rows: rows}, 16 + 64*len(rows), nil
 		case "ctl.shutdown":
 			// Reply first, then exit: the reply leaves on the conn's write
 			// queue after this handler returns.
@@ -325,6 +339,19 @@ func drivePeerCluster(p *bmx.Peer, o peerOpts) {
 		fmt.Fprintf(os.Stderr, "bmxd: FAILED: %d links cut but no process reclaimed anything\n", cuts)
 	}
 
+	// Harvest every process's heat table before shutting them down; the
+	// merge resolves each object's owner by the highest Lamport tick, the
+	// same rule bmxstat -heat applies to trace files.
+	heatParts := [][]heat.Row{p.Cluster().Heat().Snapshot()}
+	for _, id := range others {
+		raw, err := p.Control(id, "ctl.heat", ctlAck{}, 8)
+		if err != nil {
+			fatalf("bmxd: heat at node %v: %v", id, err)
+		}
+		heatParts = append(heatParts, raw.(ctlHeatReply).Rows)
+	}
+	mergedHeat := heat.Merge(heatParts...)
+
 	for _, id := range others {
 		if _, err := p.Control(id, "ctl.shutdown", ctlAck{}, 8); err != nil {
 			fmt.Fprintf(os.Stderr, "bmxd: shutdown at node %v: %v\n", id, err)
@@ -341,7 +368,7 @@ func drivePeerCluster(p *bmx.Peer, o peerOpts) {
 		fatalf("bmxd: FAILED: %d stale reads, %d probe violations", mismatches, failures)
 	}
 	fmt.Println("SUCCESS: converged across processes; collector acquired zero tokens everywhere")
-	intr.finish(p.Cluster())
+	intr.finish(p.Cluster(), mergedHeat)
 }
 
 // reachable walks the seed's edge model from the root and returns the
@@ -379,9 +406,11 @@ func auditIndependence(c map[string]int64) (string, bool) {
 	return "", true
 }
 
-// writePeerTrace dumps this process's flight-recorder window as NDJSON.
-// Events are stamped with the transport's Lamport clock, so the per-process
-// files merge into one causally ordered stream (bmxstat -trace a,b,c).
+// writePeerTrace dumps this process's flight-recorder window as NDJSON,
+// followed by its heat-table rows in the same stream. Events are stamped
+// with the transport's Lamport clock, so the per-process files merge into
+// one causally ordered stream (bmxstat -trace a,b,c), and the heat rows'
+// ownership marks merge by the same ticks (bmxstat -heat -trace a,b,c).
 func writePeerTrace(p *bmx.Peer, path string) {
 	if path == "" {
 		return
@@ -392,6 +421,9 @@ func writePeerTrace(p *bmx.Peer, path string) {
 	}
 	defer f.Close()
 	if err := obs.DumpJSON(f, p.Cluster().Observer().Events()); err != nil {
+		fatalf("bmxd: %v", err)
+	}
+	if err := heat.WriteRowsNDJSON(f, p.Cluster().Heat().Snapshot()); err != nil {
 		fatalf("bmxd: %v", err)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"bmx/internal/obs"
+	"bmx/internal/obs/heat"
 )
 
 var (
@@ -142,14 +143,16 @@ func TestThreeProcessClusterConverges(t *testing.T) {
 	}
 
 	// Merge the per-process traces on the Lamport tick and re-assert the
-	// paper's claims offline.
+	// paper's claims offline. The loose reader skips the heat rows each
+	// capture now ends with; those are parsed separately below.
 	var evs []obs.Event
+	var heatParts [][]heat.Row
 	for _, p := range procs {
 		f, err := os.Open(p.trace)
 		if err != nil {
 			t.Fatal(err)
 		}
-		part, err := obs.ReadEventsNDJSON(f)
+		part, err := obs.ReadEventsNDJSONLoose(f)
 		f.Close()
 		if err != nil {
 			t.Fatalf("trace %s: %v", p.trace, err)
@@ -158,8 +161,40 @@ func TestThreeProcessClusterConverges(t *testing.T) {
 			t.Fatalf("trace %s is empty", p.trace)
 		}
 		evs = append(evs, part...)
+
+		f, err = os.Open(p.trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := heat.ReadRowsNDJSONLoose(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("heat rows %s: %v", p.trace, err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("trace %s carries no heat rows", p.trace)
+		}
+		heatParts = append(heatParts, rows)
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Tick < evs[j].Tick })
+
+	// The heat tables of the three processes must merge into one cluster-wide
+	// locality picture: writes rotated across processes, so at least one
+	// object must end the run owned by a node other than its dominant writer,
+	// with its remote-access ratio attached — the heatmap's whole deliverable.
+	rep := heat.Analyze(heat.Merge(heatParts...))
+	if rep.TrackedObjects == 0 || rep.TotalAccesses == 0 {
+		t.Fatalf("merged heat table is empty: %+v", rep)
+	}
+	if rep.RemoteAcquires == 0 {
+		t.Fatal("merged heat table saw no remote acquires in a 3-process run")
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("merged heat table names no owner/dominant-writer mismatch")
+	}
+	m := rep.Mismatches[0]
+	t.Logf("heat: %d objects, remote ratio %.2f; top mismatch O%d owner N%d dominant N%d (ratio %.2f)",
+		rep.TrackedObjects, rep.RemoteRatio, m.OID, m.Owner, m.Dominant, m.RemoteRatio)
 
 	// If any assertion below fails, leave the merged stream where CI can
 	// upload it: `bmxstat -trace <artifact> -spans` then reconstructs the

@@ -9,9 +9,11 @@ import (
 
 func refSummary() obs.BenchSummary {
 	return obs.BenchSummary{
-		MsgsPerMutatorOp: 2.0,
-		GCCopyWords:      10000,
-		SyncsPerFlip:     1.0,
+		MsgsPerMutatorOp:   2.0,
+		GCCopyWords:        10000,
+		SyncsPerFlip:       1.0,
+		RemoteAccessRatio:  0.5,
+		OwnerMismatchCount: 4,
 		Series: map[string]obs.QuantileSeries{
 			acquireTicksSeries: {Final: obs.HistSummary{Count: 100, P99: 64}},
 		},
@@ -55,6 +57,8 @@ func TestGateTripsOnSyntheticRegressions(t *testing.T) {
 			b.Series[acquireTicksSeries] = obs.QuantileSeries{Final: obs.HistSummary{Count: 100, P99: 256}}
 		}, "acquire-ticks-p99"},
 		{"syncs-per-flip", func(b *obs.BenchSummary) { b.SyncsPerFlip = 8.0 }, "syncs-per-flip"},
+		{"locality-ratio", func(b *obs.BenchSummary) { b.RemoteAccessRatio = 0.9 }, "remote-access-ratio"},
+		{"owner-mismatches", func(b *obs.BenchSummary) { b.OwnerMismatchCount = 20 }, "owner-mismatch-count"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

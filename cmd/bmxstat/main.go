@@ -13,6 +13,7 @@
 //	bmxstat -trace run.ndjson -top 20         # more hot objects
 //	bmxstat -series a.ndjson -diff b.ndjson   # A/B two runs' series
 //	bmxstat -trace n0.ndjson,n1.ndjson -spans # cross-process span trees
+//	bmxstat -trace n0.ndjson,n1.ndjson -heat  # merged access heatmap + locality
 //	bmxstat -bench BENCH_6_flip.json -ref BENCH_REF.json -gate 25  # perf gate
 package main
 
@@ -57,6 +58,7 @@ func main() {
 		topN       = flag.Int("top", 10, "how many hot objects the overview lists (and how many slowest acquires -spans renders)")
 		asJSON     = flag.Bool("json", false, "machine-readable output")
 		spansFlag  = flag.Bool("spans", false, "reconstruct cross-process span trees from -trace (comma-separated per-process captures) and print latency attribution plus the per-trace §4.4 verdict")
+		heatFlag   = flag.Bool("heat", false, "merge the heat rows of -trace (comma-separated per-process captures or /heat downloads) and print the cluster-wide locality report")
 		refPath    = flag.String("ref", "", "benchmark reference document (BENCH_REF.json) for -gate")
 		gatePct    = flag.Float64("gate", 0, "with -bench and -ref: allowed upward drift in percent; exits 1 when a gated metric regressed further")
 		makeRefFlg = flag.Bool("make-ref", false, "merge the -bench list (comma-separated envelopes) into a reference document on stdout")
@@ -78,6 +80,15 @@ func main() {
 			fail(fmt.Errorf("-gate needs -bench and -ref"))
 		}
 		runGate(*benchPath, *refPath, *gatePct)
+		return
+	}
+	if *heatFlag {
+		// Heat mode parses its own rows (a /heat download has no events at
+		// all), so it runs before the event reader and its emptiness check.
+		if *tracePath == "" {
+			fail(fmt.Errorf("-heat needs -trace"))
+		}
+		printHeat(*tracePath, *topN, *asJSON)
 		return
 	}
 
@@ -262,6 +273,10 @@ func printBench(b obs.BenchSummary) {
 	if b.StoreSyncs > 0 {
 		fmt.Printf("durability: %d store syncs, %.2f syncs/flip, %.0f log bytes/collection\n",
 			b.StoreSyncs, b.SyncsPerFlip, b.LogBytesPerCollection)
+	}
+	if b.RemoteAccessRatio > 0 || b.OwnerMismatchCount > 0 {
+		fmt.Printf("locality: remote access ratio %.2f, %d owner/dominant-writer mismatches\n",
+			b.RemoteAccessRatio, b.OwnerMismatchCount)
 	}
 	names := make([]string, 0, len(b.Series))
 	for name := range b.Series {

@@ -1,0 +1,172 @@
+package bmx_test
+
+// Heatmap acceptance tests: the cluster-wide access-locality table driven
+// through the public facade. The determinism pin freezes the heat table's
+// serialization on simnet — same seed, byte-identical NDJSON — and the
+// hammer runs the zipf mutators concurrently with GC workers under -race.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"bmx"
+	"bmx/internal/obs/heat"
+	"bmx/internal/trace"
+)
+
+// driveHeatRun is one fixed-seed simnet run with heat accounting on:
+// rotating mutators write a zipf-skewed head, collections run on cadence,
+// and the heat table decays once per round — the bmxd driver in miniature.
+func driveHeatRun(t *testing.T, seed int64) []heat.Row {
+	t.Helper()
+	cl := bmx.New(bmx.Config{Nodes: 3, SegWords: 256, Seed: seed, SendLatency: 1, CallLatency: 1})
+	cl.EnableHeat()
+	n0 := cl.Node(0)
+	b := n0.NewBunch()
+	g, err := trace.BuildWeb(n0, b, trace.WebConfig{Objects: 30, OutDegree: 3, Seed: seed, DeadFrac: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Share(g.Objects, cl.Node(1), cl.Node(2)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 6; r++ {
+		mutator := cl.Node(r % 3)
+		if err := trace.MutateZipf(mutator, g, 10, 1.2, seed+int64(r)); err != nil {
+			t.Fatal(err)
+		}
+		if r%2 == 0 {
+			for i := 0; i < 3; i++ {
+				cl.Node(i).CollectBunch(b)
+			}
+		}
+		cl.Run(0)
+	}
+	return cl.Heat().Snapshot()
+}
+
+func TestHeatTableDeterministicUnderSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := heat.WriteRowsNDJSON(&a, driveHeatRun(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := heat.WriteRowsNDJSON(&b, driveHeatRun(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("heat table is empty after a traced run")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same seed produced different heat tables:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if c := driveHeatRun(t, 6); func() bool {
+		var cb bytes.Buffer
+		heat.WriteRowsNDJSON(&cb, c)
+		return bytes.Equal(a.Bytes(), cb.Bytes())
+	}() {
+		t.Fatal("different seeds produced identical heat tables")
+	}
+}
+
+// TestHeatFindsOwnerMismatchOnRotatingWriters is the simnet acceptance
+// shape: rotating mutators leave at least one object owned by a node other
+// than its dominant writer, and the analyzer names it with its remote ratio.
+func TestHeatFindsOwnerMismatchOnRotatingWriters(t *testing.T) {
+	rows := driveHeatRun(t, 5)
+	rep := heat.Analyze(rows)
+	if rep.TrackedObjects == 0 || rep.TotalAccesses == 0 {
+		t.Fatalf("empty locality report: %+v", rep)
+	}
+	if rep.RemoteAcquires == 0 {
+		t.Fatal("rotating mutators produced no remote acquires")
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("rotating writers left no owner/dominant-writer mismatch")
+	}
+	m := rep.Mismatches[0]
+	if m.Owner == m.Dominant {
+		t.Fatalf("mismatch entry does not mismatch: %+v", m)
+	}
+	t.Logf("heat: %d objects, remote ratio %.2f, top mismatch O%d owner N%d dominant N%d (hops %d)",
+		rep.TrackedObjects, rep.RemoteRatio, m.OID, m.Owner, m.Dominant, m.WastedHops)
+}
+
+// TestHeatCountersUnderConcurrentMutatorsAndGC is the cluster-level -race
+// hammer: per-node mutator goroutines writing disjoint bunches while each
+// runs its own collections, heat accounting on, background traffic drained
+// concurrently — the parallel driver's shape with the heat table in play.
+func TestHeatCountersUnderConcurrentMutatorsAndGC(t *testing.T) {
+	const workers = 3
+	cl := bmx.New(bmx.Config{Nodes: workers, SegWords: 256, Seed: 9, SendLatency: 1, CallLatency: 1})
+	cl.EnableHeat()
+	stop := make(chan struct{})
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cl.RunConcurrent(0)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(n *bmx.Node) {
+			defer wg.Done()
+			b := n.NewBunch()
+			var objs []bmx.Ref
+			for i := 0; i < 12; i++ {
+				o, err := n.Alloc(b, 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n.AddRoot(o)
+				objs = append(objs, o)
+			}
+			for r := 1; r <= 6; r++ {
+				for i, o := range objs {
+					if err := n.AcquireWrite(o); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := n.WriteWord(o, 1, uint64(r*i)); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := n.ReadWord(o, 1); err != nil {
+						t.Error(err)
+						return
+					}
+					n.Release(o)
+				}
+				if r%2 == 0 {
+					n.CollectBunch(b)
+				}
+			}
+		}(cl.Node(w))
+	}
+	wg.Wait()
+	close(stop)
+	drain.Wait()
+	cl.RunConcurrent(0)
+
+	rows := cl.Heat().Snapshot()
+	var writes uint64
+	for _, r := range rows {
+		writes += r.Writes
+	}
+	// 3 workers × 6 rounds × 12 objects: no write may be lost.
+	if want := uint64(workers * 6 * 12); writes != want {
+		t.Fatalf("heat table lost writes under concurrency: %d, want %d", writes, want)
+	}
+	if errs := cl.CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("invariants violated: %v", errs)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"bmx/internal/dsm"
 	"bmx/internal/mem"
 	"bmx/internal/obs"
+	"bmx/internal/obs/heat"
 	"bmx/internal/rvm"
 	"bmx/internal/simnet"
 	"bmx/internal/store"
@@ -125,6 +126,11 @@ type Cluster struct {
 	// histogram summaries) after every Run drain. Set once before the
 	// cluster starts running; the Sampler itself is internally locked.
 	sampler *obs.Sampler
+	// heat is the access-locality table riding the transport's observer,
+	// cached here so mutator entry points attribute reads and writes with
+	// one atomic load while it is disabled. Run closes one decay epoch per
+	// drain — the same round boundary the sampler uses.
+	heat *heat.Table
 }
 
 // Node is one site of the cluster: its heap, protocol engine, collector and
@@ -174,6 +180,7 @@ func New(cfg Config) *Cluster {
 		net.SetFaultPlan(cfg.Faults)
 	}
 	cl := &Cluster{cfg: cfg, net: net}
+	cl.heat = heat.Of(net.Stats().Observer())
 	cl.dir = core.NewDirectory(mem.NewAllocator(cfg.SegWords))
 	for i := 0; i < cfg.Nodes; i++ {
 		id := addr.NodeID(i)
@@ -258,6 +265,15 @@ func (cl *Cluster) EnableSampling(capacity int) *obs.Sampler {
 // EnableSampling.
 func (cl *Cluster) Sampler() *obs.Sampler { return cl.sampler }
 
+// EnableHeat switches access-locality accounting on: from here every read,
+// write and acquire is attributed per (object, requesting node) in the heat
+// table, and every Run drain closes one decay epoch.
+func (cl *Cluster) EnableHeat() { cl.heat.Enable() }
+
+// Heat returns the cluster's access-locality table (always non-nil; inert
+// until EnableHeat).
+func (cl *Cluster) Heat() *heat.Table { return cl.heat }
+
 // Sample cuts one time-series point at the current simulated tick. No-op
 // until EnableSampling.
 func (cl *Cluster) Sample() {
@@ -319,6 +335,7 @@ func (cl *Cluster) Step() bool { return cl.net.Step() }
 func (cl *Cluster) Run(limit int) int {
 	n := cl.net.Run(limit)
 	cl.Sample()
+	cl.heat.Advance()
 	return n
 }
 

@@ -173,6 +173,7 @@ func (n *Node) WriteRef(obj Ref, i int, target Ref) error {
 		return err
 	}
 	n.col.NoteWrite(obj.OID)
+	n.cl.heat.NoteWrite(n.id, obj.OID, n.dsm.KnownBunch(obj.OID))
 	n.logWrite(obj.OID, a, i)
 	return nil
 }
@@ -194,6 +195,7 @@ func (n *Node) WriteWord(obj Ref, i int, v uint64) error {
 		return err // unreachable: a nil target needs no SSP
 	}
 	n.col.NoteWrite(obj.OID)
+	n.cl.heat.NoteWrite(n.id, obj.OID, n.dsm.KnownBunch(obj.OID))
 	n.logWrite(obj.OID, a, i)
 	return nil
 }
@@ -208,6 +210,7 @@ func (n *Node) ReadRef(obj Ref, i int) (Ref, error) {
 	if err != nil {
 		return Nil, err
 	}
+	n.cl.heat.NoteRead(n.id, obj.OID, n.dsm.KnownBunch(obj.OID))
 	heap := n.col.Heap()
 	if !heap.IsRefField(a, i) {
 		v := heap.GetField(a, i)
@@ -236,6 +239,7 @@ func (n *Node) ReadWord(obj Ref, i int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	n.cl.heat.NoteRead(n.id, obj.OID, n.dsm.KnownBunch(obj.OID))
 	return n.col.Heap().GetField(a, i), nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"bmx/internal/dsm"
 	"bmx/internal/mem"
 	"bmx/internal/obs"
+	"bmx/internal/obs/heat"
 	"bmx/internal/transport"
 	"bmx/internal/transport/tcp"
 )
@@ -76,6 +77,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 			Consistency: cfg.Consistency}.withDefaults(),
 		net: tr,
 	}
+	cl.heat = heat.Of(tr.Stats().Observer())
 	if id == 0 {
 		cl.dir = core.NewDirectory(mem.NewAllocator(cfg.SegWords))
 	} else {

@@ -7,6 +7,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/obs"
+	"bmx/internal/obs/heat"
 	"bmx/internal/transport"
 )
 
@@ -95,6 +96,10 @@ type Node struct {
 	acquireHops  *obs.Histogram
 	acquireTicks *obs.Histogram
 	piggyHist    *obs.Histogram
+	// heat is the access-locality table riding the same observer; every
+	// acquire and ownership transition is attributed there (one atomic
+	// load while the table is disabled).
+	heat *heat.Table
 }
 
 // NewNode creates the protocol engine for node id. The caller is responsible
@@ -111,6 +116,7 @@ func NewNode(id addr.NodeID, net transport.Transport, hooks Hooks, clusterSize i
 		acquireHops:  o.Hist("dsm.acquire.hops"),
 		acquireTicks: o.Hist("dsm.acquire.ticks"),
 		piggyHist:    o.Hist("net.piggyback.bytes"),
+		heat:         heat.Of(o),
 	}
 }
 
@@ -142,10 +148,14 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 	// tokens until someone else pulls them). The strict protocol never
 	// caches read tokens at non-owners, so its reads always revalidate.
 	if mode == ModeRead && st.Mode >= ModeRead && (n.protocol == ProtocolEntry || st.Owner) {
+		n.stats().Add("dsm.acquire.local", 1)
+		n.heat.NoteAcquire(n.id, o, st.Bunch, false, 0)
 		n.rec.Emit(obs.Event{Kind: obs.KAcquireLocal, Class: obs.Class(class), OID: o, A: int64(mode)})
 		return nil
 	}
 	if st.Owner {
+		n.stats().Add("dsm.acquire.local", 1)
+		n.heat.NoteAcquire(n.id, o, st.Bunch, false, 0)
 		n.rec.Emit(obs.Event{Kind: obs.KAcquireLocal, Class: obs.Class(class), OID: o, A: int64(mode)})
 		if mode == ModeWrite {
 			// Upgrading owner: revoke outstanding read tokens. If a reader
@@ -262,6 +272,7 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 			}
 		}
 		n.rec.Emit(obs.Event{Kind: obs.KOwnerTransfer, Class: obs.Class(class), OID: o, From: rep.Granter, To: n.id})
+		n.heat.NoteOwner(o, n.id)
 		n.hooks.OnOwnershipAcquired(o)
 	} else {
 		st.Mode = ModeRead
@@ -270,6 +281,8 @@ func (n *Node) Acquire(o addr.OID, mode Mode, class transport.Class) error {
 	}
 
 	elapsed := watch.Elapsed()
+	n.stats().Add("dsm.acquire.remote", 1)
+	n.heat.NoteAcquire(n.id, o, st.Bunch, true, rep.Hops)
 	n.acquireHops.Observe(int64(rep.Hops))
 	n.acquireTicks.Observe(int64(elapsed))
 	n.rec.Emit(obs.Event{Kind: obs.KAcquireDone, Class: obs.Class(class), OID: o, A: int64(mode), B: int64(elapsed)})
@@ -583,6 +596,7 @@ func (n *Node) reestablish(o addr.OID, st *ObjState, mode Mode, class transport.
 	st.CopySet = make(map[addr.NodeID]bool)
 	n.stats().Add("dsm.reestablished", 1)
 	n.rec.Emit(obs.Event{Kind: obs.KReestablish, Class: obs.Class(class), OID: o, A: int64(mode)})
+	n.heat.NoteOwner(o, n.id)
 	n.hooks.OnOwnershipAcquired(o)
 	return true
 }

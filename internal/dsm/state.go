@@ -77,6 +77,17 @@ func (n *Node) RegisterNew(o addr.OID, b addr.BunchID) {
 	st.Mode = ModeWrite
 	st.Owner = true
 	n.objs[o] = st
+	n.heat.NoteOwner(o, n.id)
+}
+
+// KnownBunch returns the bunch recorded for o, or addr.NoBunch when the
+// node has no protocol state for it — unlike state(o) it never creates an
+// entry, so observability layers can ask freely.
+func (n *Node) KnownBunch(o addr.OID) addr.BunchID {
+	if st, ok := n.objs[o]; ok {
+		return st.Bunch
+	}
+	return addr.NoBunch
 }
 
 // Learn records that o exists (from a manifest), with hint as the first

@@ -19,6 +19,7 @@ import (
 
 	"bmx/internal/addr"
 	"bmx/internal/obs"
+	"bmx/internal/obs/heat"
 )
 
 // Server bundles the handler sources. All fields are optional except
@@ -28,6 +29,9 @@ type Server struct {
 	Counters func() map[string]int64
 	Observer *obs.Observer
 	Sampler  *obs.Sampler
+	// Heat snapshots the access-locality table (heat.Table.Snapshot); nil
+	// or an empty snapshot serves an empty /heat and no locality gauges.
+	Heat func() []heat.Row
 }
 
 // Handler builds the route table. Exposed separately from Serve so tests
@@ -40,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/objects/", s.object)
 	mux.HandleFunc("/series", s.series)
 	mux.HandleFunc("/spans", s.spans)
+	mux.HandleFunc("/heat", s.heat)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -72,6 +77,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
   /objects/<oid>    object biography as JSON (accepts 36 or O36)
   /series           time-series sampler window as NDJSON
   /spans            span begin/end events from the retained window as NDJSON
+  /heat             access-locality heat table as NDJSON (bmxstat -heat merges these)
   /debug/pprof/     Go runtime profiles
 `)
 }
@@ -91,7 +97,45 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WritePromGauges(w, runtimeGauges())
+	if gs := s.localityGauges(); len(gs) > 0 {
+		obs.WritePromGauges(w, gs)
+	}
 	obs.WritePromText(w, counters, hists)
+}
+
+// localityGauges condenses the heat table into the bmx_locality_* family:
+// the cluster-wide remote-access ratio, the tracked-object count, and the
+// size of the owner-mismatch (migration advice) list.
+func (s *Server) localityGauges() []obs.PromGauge {
+	if s.Heat == nil {
+		return nil
+	}
+	rows := s.Heat()
+	if len(rows) == 0 {
+		return nil
+	}
+	rep := heat.Analyze(rows)
+	return []obs.PromGauge{
+		{Name: "locality.remote.ratio", Help: "Fraction of token acquires that travelled the owner chain.",
+			Value: rep.RemoteRatio},
+		{Name: "locality.tracked.objects", Help: "Objects with at least one heat cell.",
+			Value: float64(rep.TrackedObjects)},
+		{Name: "locality.owner.mismatches", Help: "Objects whose dominant writer is not their current owner.",
+			Value: float64(len(rep.Mismatches))},
+		{Name: "locality.wasted.hops", Help: "Total ownerPtr forwards paid by remote acquires.",
+			Value: float64(rep.WastedHops)},
+	}
+}
+
+// heat serves the current heat table as NDJSON rows — the same wire shape
+// bmxd appends to trace files, so `curl /heat` output feeds straight into
+// `bmxstat -heat -trace`.
+func (s *Server) heat(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.Heat == nil {
+		return
+	}
+	heat.WriteRowsNDJSON(w, s.Heat())
 }
 
 // runtimeGauges reports the process's build identity and Go runtime health

@@ -1,0 +1,333 @@
+package heat
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"bmx/internal/addr"
+	"bmx/internal/obs"
+)
+
+// table builds an enabled heat table on a fresh observer whose Lamport
+// clock the test controls.
+func table(t *testing.T) (*Table, *uint64) {
+	t.Helper()
+	o := obs.NewObserver()
+	tick := new(uint64)
+	o.SetTickSource(func() uint64 { return *tick })
+	tb := Of(o)
+	tb.Enable()
+	return tb, tick
+}
+
+func TestDisabledPathIsNoOp(t *testing.T) {
+	o := obs.NewObserver()
+	tb := Of(o) // never enabled
+	tb.NoteRead(1, 10, 1)
+	tb.NoteWrite(1, 10, 1)
+	tb.NoteAcquire(1, 10, 1, true, 3)
+	tb.NoteOwner(10, 1)
+	tb.Advance()
+	if tb.Len() != 0 || len(tb.Snapshot()) != 0 || tb.Epoch() != 0 {
+		t.Fatalf("disabled table accumulated state: len=%d epoch=%d", tb.Len(), tb.Epoch())
+	}
+	// A nil observer yields a detached table; everything must still be safe.
+	var nilT *Table = Of(nil)
+	nilT.NoteWrite(1, 10, 1)
+	nilT.Advance()
+	if nilT.Enabled() {
+		t.Fatal("detached table claims to be enabled")
+	}
+}
+
+func TestOfSharesOneTablePerObserver(t *testing.T) {
+	o := obs.NewObserver()
+	a, b := Of(o), Of(o)
+	if a != b {
+		t.Fatal("two Of calls on one observer returned distinct tables")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	tb, tick := table(t)
+	*tick = 7
+	tb.NoteRead(1, 10, 2)
+	tb.NoteRead(1, 10, 2)
+	tb.NoteWrite(1, 10, 2)
+	tb.NoteAcquire(1, 10, 2, false, 0)
+	tb.NoteAcquire(1, 10, 2, true, 3)
+	tb.NoteOwner(10, 1)
+	rows := tb.Snapshot()
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.OID != 10 || r.Node != 1 || r.Bunch != 2 {
+		t.Fatalf("row identity wrong: %+v", r)
+	}
+	if r.Reads != 2 || r.Writes != 1 || r.Acquires != 2 || r.Remote != 1 || r.Hops != 3 {
+		t.Fatalf("counters wrong: %+v", r)
+	}
+	if r.Recent != 5 {
+		t.Fatalf("recent = %d, want 5 (one per note)", r.Recent)
+	}
+	if r.Owner == nil || *r.Owner != 1 || r.OwnerTick != 7 {
+		t.Fatalf("owner mark wrong: %+v", r)
+	}
+}
+
+func TestAdvanceDecaysRecentOnly(t *testing.T) {
+	tb, _ := table(t)
+	for i := 0; i < 8; i++ {
+		tb.NoteWrite(1, 10, 1)
+	}
+	tb.Advance()
+	tb.Advance()
+	r := tb.Snapshot()[0]
+	if r.Writes != 8 {
+		t.Fatalf("cumulative writes decayed: %d", r.Writes)
+	}
+	if r.Recent != 2 {
+		t.Fatalf("recent = %d after two halvings of 8, want 2", r.Recent)
+	}
+	if tb.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", tb.Epoch())
+	}
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	tb, tick := table(t)
+	// Insert in scrambled order; Snapshot must come out (OID, node)-sorted
+	// and byte-identical across calls.
+	for _, c := range []struct {
+		node addr.NodeID
+		oid  addr.OID
+	}{{2, 30}, {0, 11}, {1, 30}, {2, 11}, {0, 30}} {
+		tb.NoteWrite(c.node, c.oid, 1)
+	}
+	*tick = 5
+	tb.NoteOwner(30, 2)
+	var a, b bytes.Buffer
+	if err := WriteRowsNDJSON(&a, tb.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRowsNDJSON(&b, tb.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two snapshots of one table differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	rows := tb.Snapshot()
+	for i := 1; i < len(rows); i++ {
+		p, q := rows[i-1], rows[i]
+		if p.OID > q.OID || (p.OID == q.OID && p.Node >= q.Node) {
+			t.Fatalf("rows not sorted at %d: %+v then %+v", i, p, q)
+		}
+	}
+}
+
+func TestOwnerOnlyMarkSurvivesSnapshot(t *testing.T) {
+	tb, tick := table(t)
+	*tick = 9
+	tb.NoteOwner(42, 3) // no cell for (42, 3)
+	rows := tb.Snapshot()
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want the bare owner row", len(rows))
+	}
+	r := rows[0]
+	if r.OID != 42 || r.Owner == nil || *r.Owner != 3 || r.OwnerTick != 9 {
+		t.Fatalf("bare owner row wrong: %+v", r)
+	}
+}
+
+func TestWireRoundTripThroughMixedStream(t *testing.T) {
+	tb, tick := table(t)
+	tb.NoteWrite(0, 10, 1)
+	tb.NoteAcquire(1, 10, 1, true, 2)
+	*tick = 3
+	tb.NoteOwner(10, 1)
+	want := tb.Snapshot()
+
+	var buf bytes.Buffer
+	// Heat rows cohabit a stream with event lines and report text; the
+	// loose reader must keep exactly the rows.
+	buf.WriteString(`{"kind":"span.begin","seq":1,"tick":2,"node":0}` + "\n")
+	buf.WriteString("-- heat table (2 rows) --\n")
+	if err := WriteRowsNDJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("not json at all\n")
+	got, err := ReadRowsNDJSONLoose(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	WriteRowsNDJSON(&a, want)
+	WriteRowsNDJSON(&b, got)
+	if a.String() != b.String() {
+		t.Fatalf("round trip changed the rows:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestMergeSumsCellsAndResolvesOwnerByTick(t *testing.T) {
+	own := func(n int32) *int32 { return &n }
+	partA := []Row{
+		{Heat: 1, OID: 10, Bunch: 1, Node: 0, Writes: 4, Acquires: 2, Remote: 1, Hops: 2,
+			Owner: own(0), OwnerTick: 5},
+	}
+	partB := []Row{
+		{Heat: 1, OID: 10, Bunch: 1, Node: 0, Writes: 1},
+		{Heat: 1, OID: 10, Bunch: 1, Node: 1, Writes: 7, Acquires: 3, Remote: 3, Hops: 4,
+			Owner: own(1), OwnerTick: 9},
+	}
+	merged := Merge(partA, partB)
+	if len(merged) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(merged), merged)
+	}
+	n0, n1 := merged[0], merged[1]
+	if n0.Writes != 5 {
+		t.Fatalf("cell (10,0) writes = %d, want summed 5", n0.Writes)
+	}
+	// Both rows must carry the tick-9 owner: node 1 won.
+	for _, r := range merged {
+		if r.Owner == nil || *r.Owner != 1 || r.OwnerTick != 9 {
+			t.Fatalf("owner not resolved to the highest tick: %+v", r)
+		}
+	}
+	if n1.Hops != 4 || n1.Remote != 3 {
+		t.Fatalf("cell (10,1) wrong: %+v", n1)
+	}
+
+	// Equal ticks: the later-merged mark wins (>=), matching the in-table rule.
+	tie := Merge(
+		[]Row{{Heat: 1, OID: 7, Node: 0, Owner: own(0), OwnerTick: 5}},
+		[]Row{{Heat: 1, OID: 7, Node: 1, Owner: own(1), OwnerTick: 5}},
+	)
+	for _, r := range tie {
+		if *r.Owner != 1 {
+			t.Fatalf("tie not broken toward the later mark: %+v", r)
+		}
+	}
+}
+
+func TestAnalyzeFindsOwnerMismatch(t *testing.T) {
+	own := func(n int32) *int32 { return &n }
+	rows := []Row{
+		// Object 10: node 0 wrote most, node 1 owns it — the mismatch.
+		{Heat: 1, OID: 10, Bunch: 1, Node: 0, Writes: 9, Acquires: 9, Remote: 6, Hops: 11, Owner: own(1), OwnerTick: 8},
+		{Heat: 1, OID: 10, Bunch: 1, Node: 1, Writes: 2, Acquires: 2, Owner: own(1), OwnerTick: 8},
+		// Object 20: owned by its dominant writer — no advice.
+		{Heat: 1, OID: 20, Bunch: 1, Node: 0, Writes: 5, Acquires: 5, Owner: own(0), OwnerTick: 3},
+		// Object 30: reads only, never written — no dominant writer.
+		{Heat: 1, OID: 30, Bunch: 1, Node: 2, Reads: 4, Owner: own(2), OwnerTick: 2},
+	}
+	rep := Analyze(rows)
+	if rep.TrackedObjects != 3 {
+		t.Fatalf("tracked %d objects, want 3", rep.TrackedObjects)
+	}
+	if rep.TotalAcquires != 16 || rep.RemoteAcquires != 6 {
+		t.Fatalf("acquire totals wrong: %+v", rep)
+	}
+	if got, want := rep.RemoteRatio, 6.0/16.0; got != want {
+		t.Fatalf("remote ratio %v, want %v", got, want)
+	}
+	if len(rep.Mismatches) != 1 {
+		t.Fatalf("got %d mismatches, want exactly the O10 one: %+v", len(rep.Mismatches), rep.Mismatches)
+	}
+	m := rep.Mismatches[0]
+	if m.OID != 10 || m.Owner != 1 || m.Dominant != 0 || m.Writes != 9 || m.WastedHops != 11 {
+		t.Fatalf("mismatch wrong: %+v", m)
+	}
+	// Hottest-first object ordering: O10 (11 writes+ reads) leads.
+	if rep.Objects[0].OID != 10 {
+		t.Fatalf("hottest object is %d, want 10", rep.Objects[0].OID)
+	}
+	// Per-node slices attached and sorted.
+	if len(rep.Objects[0].PerNode) != 2 || rep.Objects[0].PerNode[0].Node != 0 {
+		t.Fatalf("per-node slices wrong: %+v", rep.Objects[0].PerNode)
+	}
+}
+
+func TestAnalyzeRanksMismatchesByWastedHops(t *testing.T) {
+	own := func(n int32) *int32 { return &n }
+	rows := []Row{
+		{Heat: 1, OID: 10, Node: 0, Writes: 3, Hops: 2, Owner: own(1), OwnerTick: 1},
+		{Heat: 1, OID: 20, Node: 0, Writes: 3, Hops: 9, Owner: own(1), OwnerTick: 1},
+		{Heat: 1, OID: 30, Node: 0, Writes: 3, Hops: 5, Owner: own(1), OwnerTick: 1},
+	}
+	rep := Analyze(rows)
+	if len(rep.Mismatches) != 3 {
+		t.Fatalf("got %d mismatches, want 3", len(rep.Mismatches))
+	}
+	order := [3]uint64{rep.Mismatches[0].OID, rep.Mismatches[1].OID, rep.Mismatches[2].OID}
+	if order != [3]uint64{20, 30, 10} {
+		t.Fatalf("mismatch ranking %v, want worst hops first [20 30 10]", order)
+	}
+}
+
+// TestConcurrentNotesUnderRace is the -race hammer of the ISSUE: many
+// mutator goroutines and a GC-shaped reader pounding one table while epochs
+// advance and snapshots are cut. Correctness of the totals is asserted;
+// the data-race detector asserts the rest.
+func TestConcurrentNotesUnderRace(t *testing.T) {
+	tb, _ := table(t)
+	const (
+		workers = 8
+		perG    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id addr.NodeID) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				oid := addr.OID(1 + i%17)
+				tb.NoteWrite(id, oid, 1)
+				tb.NoteRead(id, oid, 1)
+				tb.NoteAcquire(id, oid, 1, i%3 == 0, i%5)
+				if i%50 == 0 {
+					tb.NoteOwner(oid, id)
+				}
+			}
+		}(addr.NodeID(w % 4))
+	}
+	// The decay ticker and a snapshot reader run against the mutators, like
+	// Cluster.Run and /heat do.
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 200; i++ {
+			tb.Advance()
+			_ = tb.Snapshot()
+		}
+	}()
+	wg.Wait()
+	snapWG.Wait()
+
+	var writes, reads, acquires uint64
+	for _, r := range tb.Snapshot() {
+		writes += r.Writes
+		reads += r.Reads
+		acquires += r.Acquires
+	}
+	want := uint64(workers * perG)
+	if writes != want || reads != want || acquires != want {
+		t.Fatalf("lost notes under concurrency: writes=%d reads=%d acquires=%d want %d each",
+			writes, reads, acquires, want)
+	}
+}
+
+func TestVersionMarkerOnEveryRow(t *testing.T) {
+	tb, _ := table(t)
+	tb.NoteWrite(0, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteRowsNDJSON(&buf, tb.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"heat":1`) {
+		t.Fatalf("serialized row misses the format marker: %s", buf.String())
+	}
+}

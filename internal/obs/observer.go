@@ -31,21 +31,42 @@ type Observer struct {
 	mu    sync.Mutex
 	recs  map[addr.NodeID]*Recorder
 	hists map[string]*Histogram
+	aux   map[string]any
 	ring  int
 	fatal io.Writer
+
+	// strict arms the debug asserts (span-stack goroutine checks, span.go).
+	strict atomic.Bool
 
 	fatalMu     sync.Mutex
 	fatalDumped bool
 }
 
 // NewObserver returns a disabled observer with the default ring size.
+// BMX_OBS_STRICT=1 in the environment arms the debug asserts from birth.
 func NewObserver() *Observer {
-	return &Observer{
+	o := &Observer{
 		recs:  make(map[addr.NodeID]*Recorder),
 		hists: make(map[string]*Histogram),
 		ring:  DefaultRingSize,
 	}
+	if v := os.Getenv("BMX_OBS_STRICT"); v != "" && v != "0" {
+		o.strict.Store(true)
+	}
+	return o
 }
+
+// SetStrict arms (or disarms) the strict debug asserts: span attribution
+// fails loudly instead of silently corrupting when the single-mutator-
+// goroutine-per-node contract is broken. Also settable via BMX_OBS_STRICT.
+func (o *Observer) SetStrict(on bool) {
+	if o != nil {
+		o.strict.Store(on)
+	}
+}
+
+// Strict reports whether the debug asserts are armed.
+func (o *Observer) Strict() bool { return o != nil && o.strict.Load() }
 
 // Enable turns event recording on. Instrumentation is always compiled in;
 // this flips the one atomic every fast path checks.
@@ -66,6 +87,35 @@ func (o *Observer) now() uint64 {
 		return (*f)()
 	}
 	return 0
+}
+
+// Now exposes the current Lamport/simulated tick to layers riding the
+// observer (the heat table stamps ownership marks with it). Zero when no
+// tick source is installed.
+func (o *Observer) Now() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.now()
+}
+
+// Aux returns the attachment registered under key, creating it with mk on
+// first use. It is how optional layers (the heat table) ride the one
+// Observer every transport already carries without obs importing them —
+// the same no-constructor-churn contract as Stats().Observer(). mk runs
+// under the observer lock and must not re-enter it.
+func (o *Observer) Aux(key string, mk func() any) any {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.aux == nil {
+		o.aux = make(map[string]any)
+	}
+	v, ok := o.aux[key]
+	if !ok {
+		v = mk()
+		o.aux[key] = v
+	}
+	return v
 }
 
 // SetRingSize sets the per-node window size for rings not yet allocated

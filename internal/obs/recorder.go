@@ -31,6 +31,11 @@ type Recorder struct {
 	// current span, stamped onto outgoing messages and onto events emitted
 	// without explicit span attribution. Only touched while enabled.
 	spans []SpanContext
+	// spanGids runs parallel to spans; while the observer is strict it
+	// holds the ID of the goroutine that opened each span, so a second
+	// concurrent mutator goroutine on one node fails loudly (strict.go)
+	// instead of silently corrupting span attribution.
+	spanGids []int64
 }
 
 // Node returns the recorder's node.

@@ -201,6 +201,14 @@ type BenchSummary struct {
 	StoreSyncs            int64   `json:"store_syncs"`
 	SyncsPerFlip          float64 `json:"syncs_per_flip"`
 	LogBytesPerCollection float64 `json:"log_bytes_per_collection"`
+	// RemoteAccessRatio is the fraction of token acquires that left the
+	// requesting node (travelled the owner chain): the locality figure
+	// placement optimizes. OwnerMismatchCount is how many objects ended the
+	// run owned by a node other than their dominant writer — the heat
+	// table's migration-advice list, sized (filled by the driver from the
+	// merged heat rows; BenchOf leaves it zero without them).
+	RemoteAccessRatio  float64 `json:"remote_access_ratio"`
+	OwnerMismatchCount int64   `json:"owner_mismatch_count"`
 }
 
 // Bench condenses the retained window into the benchmark artifact.
@@ -264,6 +272,9 @@ func BenchOf(samples []Sample) BenchSummary {
 	if runs := b.Counters["core.gc.runs"]; runs > 0 {
 		b.SyncsPerFlip = float64(b.StoreSyncs) / float64(runs)
 		b.LogBytesPerCollection = float64(b.Counters["rvm.log.bytes"]) / float64(runs)
+	}
+	if tot := b.Counters["dsm.acquire.local"] + b.Counters["dsm.acquire.remote"]; tot > 0 {
+		b.RemoteAccessRatio = float64(b.Counters["dsm.acquire.remote"]) / float64(tot)
 	}
 	return b
 }

@@ -217,17 +217,25 @@ func (r *Recorder) StartServerSpan(op SpanOp, oid addr.OID, remote SpanContext) 
 func (r *Recorder) startSpan(op SpanOp, oid addr.OID, remote SpanContext) SpanScope {
 	id := r.o.nextSpanID(r.node)
 	sc := SpanContext{Span: id}
+	var gid int64
+	if r.o.strict.Load() {
+		gid = goroutineID()
+	}
 	r.mu.Lock()
 	switch {
 	case remote.Valid():
 		sc.Trace, sc.Parent = remote.Trace, remote.Span
 	case len(r.spans) > 0:
+		if gid != 0 {
+			r.strictCheckLocked(gid, op) // unlocks and panics on violation
+		}
 		top := r.spans[len(r.spans)-1]
 		sc.Trace, sc.Parent = top.Trace, top.Span
 	default:
 		sc.Trace = id // a new root: the trace is named after it
 	}
 	r.spans = append(r.spans, sc)
+	r.spanGids = append(r.spanGids, gid)
 	r.mu.Unlock()
 	start := r.o.now()
 	r.Emit(Event{
@@ -260,6 +268,9 @@ func (r *Recorder) popSpan(id uint64) {
 	for i := len(r.spans) - 1; i >= 0; i-- {
 		if r.spans[i].Span == id {
 			r.spans = append(r.spans[:i], r.spans[i+1:]...)
+			if i < len(r.spanGids) {
+				r.spanGids = append(r.spanGids[:i], r.spanGids[i+1:]...)
+			}
 			break
 		}
 	}

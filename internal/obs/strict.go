@@ -1,0 +1,55 @@
+package obs
+
+// Strict-mode debug asserts. The recorder's span stack is per-node, not
+// per-goroutine: the documented contract is one mutator goroutine per node
+// (server goroutines attach via StartServerSpan and carry their parent on
+// the wire, so they never lean on the stack). A second concurrent mutator
+// goroutine would silently mis-parent spans — with BMX_OBS_STRICT=1 (or
+// Observer.SetStrict) the overlap fails loudly instead, naming both
+// goroutines, after dumping the flight-recorder window.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+)
+
+// goroutineID parses the running goroutine's ID from its stack header
+// ("goroutine N [running]:"). Only called in strict mode, where the cost
+// of runtime.Stack is the point, not a problem.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseInt(string(s[:i]), 10, 64); err == nil {
+			return id
+		}
+	}
+	return 0
+}
+
+// strictCheckLocked runs under r.mu just before a span is pushed with
+// implicit (stack-top) parenting. If the top of the stack was opened by a
+// different goroutine, the push would parent this goroutine's work under
+// another goroutine's span — the exact corruption strict mode exists to
+// catch. Panics after the flight-recorder dump so the window around the
+// overlap is on stderr.
+func (r *Recorder) strictCheckLocked(gid int64, op SpanOp) {
+	n := len(r.spans)
+	if n == 0 || n > len(r.spanGids) {
+		return
+	}
+	topGid := r.spanGids[n-1]
+	if topGid == 0 || gid == 0 || topGid == gid {
+		return
+	}
+	top := r.spans[n-1]
+	msg := fmt.Sprintf(
+		"obs strict: node %v span stack shared by two goroutines: goroutine %d starts %s while goroutine %d holds span %x — one mutator goroutine per node, or use StartServerSpan",
+		r.node, gid, op, topGid, top.Span)
+	r.mu.Unlock()
+	r.o.Fatal(r.node, msg)
+	panic(msg)
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mustPanic runs f on a fresh goroutine (the strict check is about
+// goroutine identity, so the violating span must genuinely start on a
+// second one) and reports the recovered panic message, empty if none.
+func mustPanic(f func()) string {
+	var (
+		msg string
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+			}
+		}()
+		f()
+	}()
+	wg.Wait()
+	return msg
+}
+
+func TestStrictCatchesSecondMutatorGoroutine(t *testing.T) {
+	o := NewObserver()
+	o.Enable()
+	o.SetStrict(true)
+	r := o.Recorder(1)
+
+	outer := r.StartSpan(OpAcquireW, 10)
+	defer outer.End()
+	// A second goroutine leaning on the same node's span stack would parent
+	// its span under goroutine 1's open acquire — the corruption the assert
+	// exists to catch.
+	msg := mustPanic(func() { r.StartSpan(OpWriteWord, 11).End() })
+	if msg == "" {
+		t.Fatal("strict mode let a second goroutine nest under another goroutine's span")
+	}
+	if !strings.Contains(msg, "two goroutines") || !strings.Contains(msg, "op.write.word") {
+		t.Fatalf("violation message does not name the overlap: %q", msg)
+	}
+}
+
+func TestStrictAllowsSingleGoroutineNesting(t *testing.T) {
+	o := NewObserver()
+	o.Enable()
+	o.SetStrict(true)
+	r := o.Recorder(1)
+	outer := r.StartSpan(OpAcquireW, 10)
+	inner := r.StartSpan(OpWriteWord, 10) // same goroutine: fine
+	inner.End()
+	outer.End()
+	if got := r.CurrentSpan(); got.Valid() {
+		t.Fatalf("span stack not drained: %+v", got)
+	}
+}
+
+func TestStrictExemptsServerSpans(t *testing.T) {
+	o := NewObserver()
+	o.Enable()
+	o.SetStrict(true)
+	r := o.Recorder(1)
+	outer := r.StartSpan(OpAcquireW, 10)
+	defer outer.End()
+	// Server goroutines carry their parent on the wire and never lean on
+	// the stack — they must not trip the assert.
+	remote := SpanContext{Trace: 7, Span: 9}
+	msg := mustPanic(func() { r.StartServerSpan(OpServeAcquire, 10, remote).End() })
+	if msg != "" {
+		t.Fatalf("strict mode tripped on a server span with explicit parentage: %q", msg)
+	}
+}
+
+func TestStrictOffByDefaultToleratesOverlap(t *testing.T) {
+	o := NewObserver()
+	o.Enable()
+	r := o.Recorder(1)
+	outer := r.StartSpan(OpAcquireW, 10)
+	defer outer.End()
+	if msg := mustPanic(func() { r.StartSpan(OpWriteWord, 11).End() }); msg != "" {
+		t.Fatalf("non-strict observer panicked: %q", msg)
+	}
+}

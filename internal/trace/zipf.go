@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bmx/internal/addr"
+	"bmx/internal/cluster"
+)
+
+// Skewed generators for the locality experiments (ROADMAP: web-scale
+// workload diversity). The zipf workload concentrates writes on a hot head
+// of the object population so the heat table has real skew to show; the
+// churn-heavy workload allocates and kills objects every round so the
+// cleaner runs against a moving population. Both are deterministic under
+// seed, like everything else in this package.
+
+// ZipfIndices draws count indices in [0, n) from a Zipf distribution with
+// exponent s (s > 1; values <= 1 are clamped to 1.0001). Index 0 is the
+// hottest. Factored out of MutateZipf so the distribution itself is
+// testable without a cluster.
+func ZipfIndices(n, count int, s float64, seed int64) []int {
+	if n <= 0 || count <= 0 {
+		return nil
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+// MutateZipf performs count write transactions at node nd, each picking its
+// target by Zipf rank over the graph's objects in creation order: a hot
+// head gets most of the traffic. Every transaction acquires the write token
+// and updates the payload word, so token traffic follows the skew.
+func MutateZipf(nd *cluster.Node, g Graph, count int, s float64, seed int64) error {
+	if len(g.Objects) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, idx := range ZipfIndices(len(g.Objects), count, s, seed) {
+		o := g.Objects[idx]
+		if err := nd.AcquireWrite(o); err != nil {
+			return err
+		}
+		sz, err := nd.Size(o)
+		if err != nil {
+			return err
+		}
+		if err := nd.WriteWord(o, sz-1, rng.Uint64()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChurnHeavyRound is one round of the allocation-heavy workload: allocate
+// `alloc` fresh rooted objects at nd, write each once, then unroot the
+// `kill` oldest live objects so they become garbage for the next
+// collection. It returns the updated live list (oldest first). Death
+// happens by root removal only — no live handle ever dangles, so the
+// mutator never touches a reclaimed object.
+func ChurnHeavyRound(nd *cluster.Node, b addr.BunchID, live []cluster.Ref, alloc, kill int, seed int64) ([]cluster.Ref, error) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < alloc; i++ {
+		o, err := nd.Alloc(b, 2)
+		if err != nil {
+			return live, err
+		}
+		nd.AddRoot(o)
+		if err := nd.WriteWord(o, 1, rng.Uint64()); err != nil {
+			return live, err
+		}
+		live = append(live, o)
+	}
+	if kill >= len(live) {
+		return live, fmt.Errorf("trace: churn-heavy would kill the whole live set (%d of %d)", kill, len(live))
+	}
+	for _, o := range live[:kill] {
+		// The dying objects are roots with no incoming references (each
+		// round's objects only self-contain), so dropping the root is death.
+		nd.RemoveRoot(o)
+	}
+	return live[kill:], nil
+}
