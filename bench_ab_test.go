@@ -1,0 +1,69 @@
+package bmx_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"bmx/internal/obs"
+)
+
+// readBench loads a committed benchmark envelope from the repo root.
+func readBench(t *testing.T, path string) obs.BenchSummary {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("committed envelope missing (run `make bench-json-sim`): %v", err)
+	}
+	var b obs.BenchSummary
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return b
+}
+
+// TestMigrationBenchBeatsBaseline pins the PR's A/B claim on the committed
+// artifacts: on the identical zipf workload and seed, heat-driven ownership
+// migration plus the remote-acquire fast path must strictly lower the
+// remote-access ratio and the owner-chain hops paid per acquire, without
+// costing messages per mutator op. The envelopes are regenerated together
+// by `make bench-json-sim` (deterministic simnet), so a protocol change
+// that erodes the win fails here before the CI gate sees it.
+func TestMigrationBenchBeatsBaseline(t *testing.T) {
+	base := readBench(t, "BENCH_9_zipf.json")
+	mig := readBench(t, "BENCH_10_zipf_migrate.json")
+
+	if mig.RemoteAccessRatio >= base.RemoteAccessRatio {
+		t.Errorf("remote access ratio: migrate %.4f, baseline %.4f; migration must strictly lower it",
+			mig.RemoteAccessRatio, base.RemoteAccessRatio)
+	}
+	bh, ok1 := base.Series["dsm.acquire.hops"]
+	mh, ok2 := mig.Series["dsm.acquire.hops"]
+	if !ok1 || !ok2 {
+		t.Fatal("dsm.acquire.hops series missing from an envelope")
+	}
+	if mh.Final.Sum >= bh.Final.Sum {
+		t.Errorf("owner-chain hops: migrate paid %d, baseline %d; migration must strictly lower them",
+			mh.Final.Sum, bh.Final.Sum)
+	}
+	if mig.MsgsPerMutatorOp > base.MsgsPerMutatorOp {
+		t.Errorf("msgs per mutator op: migrate %.4f, baseline %.4f; the optimisation may not cost messages",
+			mig.MsgsPerMutatorOp, base.MsgsPerMutatorOp)
+	}
+}
+
+// TestCoalesceBenchCostsNothing pins the coalescing-only envelope: batching
+// invariant-2 location updates must not change the workload's consistency
+// figures — same remote-access ratio, no extra messages per op.
+func TestCoalesceBenchCostsNothing(t *testing.T) {
+	base := readBench(t, "BENCH_9_zipf.json")
+	coal := readBench(t, "BENCH_10_coalesce.json")
+	if coal.RemoteAccessRatio != base.RemoteAccessRatio {
+		t.Errorf("remote access ratio moved under coalescing: %.4f vs %.4f",
+			coal.RemoteAccessRatio, base.RemoteAccessRatio)
+	}
+	if coal.MsgsPerMutatorOp > base.MsgsPerMutatorOp {
+		t.Errorf("msgs per mutator op rose under coalescing: %.4f vs %.4f",
+			coal.MsgsPerMutatorOp, base.MsgsPerMutatorOp)
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bmx/internal/addr"
+	"bmx/internal/dsm"
+	"bmx/internal/obs"
+	"bmx/internal/place"
+	"bmx/internal/transport"
+)
+
+// EnablePlacement attaches the heat-driven placement engine: from here,
+// every Run drain ends by planning up to cfg.Budget ownership migrations
+// from the heat table's advice and executing them through the ordinary
+// write-acquire machinery under transport.ClassPlace. Heat accounting is
+// switched on as a side effect (the engine is blind without it).
+// Idempotent; returns the engine. Single-process clusters only — the
+// multi-process peer driver never calls this.
+func (cl *Cluster) EnablePlacement(cfg place.Config) *place.Engine {
+	if cl.placer == nil {
+		cl.EnableHeat()
+		cl.placer = place.New(cfg)
+		cl.placer.SetCounter(cl.Stats().Add)
+	}
+	return cl.placer
+}
+
+// Placer returns the placement engine, nil until EnablePlacement.
+func (cl *Cluster) Placer() *place.Engine { return cl.placer }
+
+// migrate runs one placement round at the Run boundary: plan against the
+// current heat rows, execute each planned migration, then drain the
+// fallout (coalesced location updates travel as background messages) so
+// the next round starts settled. Draining uses the raw network, not
+// cl.Run, which would recurse into sampling, decay and planning.
+func (cl *Cluster) migrate() {
+	plan := cl.placer.Plan(cl.heat.Snapshot(), cl.heat.Epoch())
+	for _, m := range plan {
+		cl.applyMigration(m)
+	}
+	if len(plan) > 0 {
+		cl.net.Run(0)
+	}
+}
+
+// applyMigration pushes write ownership of one object to its dominant
+// writer. The bracket mirrors a mutator's acquireToken — object stripe,
+// then node lock — minus the critical-path marker: a migration is never on
+// any application's critical path, and its traffic is ClassPlace, so the
+// §5 zero-GC-message probes and the critical-path attribution both stay
+// honest. Failure (e.g. a partition mid-chain) only costs the round's
+// budget; ownership stays wherever the protocol left it and the advice
+// resurfaces after the engine's cooldown.
+func (cl *Cluster) applyMigration(m place.Migration) {
+	if m.To < 0 || int(m.To) >= len(cl.nodes) {
+		return
+	}
+	n := cl.nodes[m.To]
+	o := addr.OID(m.OID)
+	err := func() error {
+		defer n.rec.StartSpan(obs.OpPlaceMigrate, o).End()
+		defer cl.lockObject(o)()
+		defer n.lock()()
+		if n.dsm.IsOwner(o) {
+			// The advice raced with the application: the token already
+			// moved home between snapshot and execution.
+			cl.Stats().Add("place.alreadyOwner", 1)
+			return nil
+		}
+		return n.dsm.Acquire(o, dsm.ModeWrite, transport.ClassPlace)
+	}()
+	if err != nil {
+		cl.Stats().Add("place.migrations.failed", 1)
+		return
+	}
+	cl.Stats().Add("place.migrations", 1)
+	cl.Stats().Add("place.migrations.hops", int64(m.WastedHops))
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"testing"
+
+	"bmx/internal/place"
+)
+
+// buildMismatch drives a three-node cluster into an owner/dominant-writer
+// mismatch with real wasted hops: ownership of o ends at node 1 while node
+// 2 wrote it far more, and node 2's earlier acquire travelled a forwarded
+// chain (its stale ownerPtr still named the allocation site).
+func buildMismatch(t *testing.T, cl *Cluster) Ref {
+	t.Helper()
+	n0, n1, n2 := cl.Node(0), cl.Node(1), cl.Node(2)
+	b := n0.NewBunch()
+	o := n0.MustAlloc(b, 2)
+	if err := n0.WriteWord(o, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// n2 reads first: its ownerPtr now names n0.
+	if err := n2.AcquireRead(o); err != nil {
+		t.Fatal(err)
+	}
+	// n1 takes ownership (invalidating n2, whose stale route keeps naming
+	// n0)...
+	if err := n1.AcquireWrite(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.WriteWord(o, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// ...so n2's write acquire forwards n0 -> n1: a real wasted hop, heat
+	// accounted. Then n2 writes heavily — the dominant writer.
+	if err := n2.AcquireWrite(o); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := n2.WriteWord(o, 0, uint64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// n1 steals the token back: owner n1, dominant writer n2.
+	if err := n1.AcquireWrite(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.WriteWord(o, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestMigrationMovesOwnershipToDominantWriter(t *testing.T) {
+	cl := New(Config{Nodes: 3, SegWords: 64, Seed: 1})
+	cl.EnablePlacement(place.Config{})
+	o := buildMismatch(t, cl)
+	if !cl.Node(1).IsOwner(o) {
+		t.Fatal("setup: node 1 should own before the placement round")
+	}
+	cl.Run(0)
+	if !cl.Node(2).IsOwner(o) {
+		t.Fatal("placement round did not push ownership to the dominant writer")
+	}
+	if got := cl.Stats().Get("place.migrations"); got != 1 {
+		t.Fatalf("place.migrations = %d, want 1", got)
+	}
+	// The move is invisible to the GC-class probes and to app attribution.
+	if cl.Stats().Get("dsm.acquire.w.gc") != 0 {
+		t.Fatal("migration polluted the GC acquire counter")
+	}
+	if cl.Stats().Get("dsm.acquire.w.place") == 0 {
+		t.Fatal("migration not attributed to the place class")
+	}
+	// Advice is consumed: the mismatch is gone, so further rounds with no
+	// new traffic plan nothing.
+	before := cl.Stats().Get("place.migrations")
+	cl.Run(0)
+	cl.Run(0)
+	if got := cl.Stats().Get("place.migrations"); got != before {
+		t.Fatalf("idle rounds migrated again (%d -> %d)", before, got)
+	}
+}
+
+// TestMigrationPingPongBounded is the cluster-level anti-ping-pong check:
+// two writers alternating every round cause at most one migration per
+// cooldown window, even though the advice list names the object every time.
+func TestMigrationPingPongBounded(t *testing.T) {
+	cl := New(Config{Nodes: 3, SegWords: 64, Seed: 1})
+	eng := cl.EnablePlacement(place.Config{Cooldown: 4})
+	o := buildMismatch(t, cl)
+	const rounds = 16
+	for r := 0; r < rounds; r++ {
+		// Whoever does not own writes twice — permanently mismatched.
+		w := cl.Node(1)
+		if w.IsOwner(o) {
+			w = cl.Node(2)
+		}
+		if err := w.AcquireWrite(o); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteWord(o, 0, uint64(r)); err != nil {
+			t.Fatal(err)
+		}
+		cl.Run(0)
+	}
+	max := int64(rounds/int(eng.Config().Cooldown) + 2)
+	if got := cl.Stats().Get("place.migrations"); got > max {
+		t.Fatalf("alternating writers caused %d migrations over %d rounds, want <= %d", got, rounds, max)
+	}
+}
+
+func TestPlacementOffByDefault(t *testing.T) {
+	cl := New(Config{Nodes: 3, SegWords: 64, Seed: 1})
+	cl.EnableHeat()
+	o := buildMismatch(t, cl)
+	cl.Run(0)
+	if !cl.Node(1).IsOwner(o) {
+		t.Fatal("ownership moved without the placement engine enabled")
+	}
+	for _, k := range []string{"place.rounds", "place.migrations", "msg.sent.place"} {
+		if got := cl.Stats().Get(k); got != 0 {
+			t.Fatalf("%s = %d without EnablePlacement", k, got)
+		}
+	}
+}
+
+// TestChaosMigrateSoak races heat-driven migrations against the fault
+// storm: partitions cut mid-chain migrations, and the convergence audit
+// must still find every invariant intact and every rooted object
+// acquirable — no write token lost to a half-done ownership push.
+func TestChaosMigrateSoak(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		rep := RunChaos(ChaosConfig{
+			Nodes: 3, Steps: 300, Seed: seed,
+			PartitionEvery: 40, PartitionFor: 12,
+			Migrate: true,
+		})
+		if len(rep.Violations) != 0 {
+			t.Fatalf("seed %d: migrate soak failed to converge:\n%v", seed, rep.Violations)
+		}
+	}
+}
+
+// TestChaosMigrateZeroFaultDeterministic pins that the migrate-enabled
+// soak is itself deterministic: two identical configs produce identical
+// counter snapshots, including the place.* family.
+func TestChaosMigrateZeroFaultDeterministic(t *testing.T) {
+	run := func() map[string]int64 {
+		rep := RunChaos(ChaosConfig{Nodes: 3, Steps: 200, Seed: 5, Migrate: true})
+		if len(rep.Violations) != 0 {
+			t.Fatalf("violations: %v", rep.Violations)
+		}
+		return rep.Stats
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("counter %s diverged between identical runs: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+// TestClusterCoalescedLocUpdatesConverge runs the zero-fault chaos soak on
+// a coalescing cluster: same workload, batched invariant-2 updates, full
+// convergence. (Byte-level state equivalence against per-message sends is
+// pinned at the dsm layer, where delivery interleaving is controlled.)
+func TestClusterCoalescedLocUpdatesConverge(t *testing.T) {
+	cl := New(Config{Nodes: 3, SegWords: 128, Seed: 9, CoalesceLocUpdates: true})
+	rep := runChaos(cl, ChaosConfig{Nodes: 3, Steps: 300, Seed: 9})
+	if len(rep.Violations) != 0 {
+		t.Fatalf("coalesced soak failed to converge:\n%v", rep.Violations)
+	}
+}
+
+// TestClusterHintCacheConverges does the same for the ownerPtr hint cache,
+// with partitions so stale hints actually mislead chains mid-storm.
+func TestClusterHintCacheConverges(t *testing.T) {
+	cl := New(Config{Nodes: 3, SegWords: 128, Seed: 11, OwnerHintCache: true})
+	rep := runChaos(cl, ChaosConfig{Nodes: 3, Steps: 300, Seed: 11,
+		PartitionEvery: 50, PartitionFor: 10})
+	if len(rep.Violations) != 0 {
+		t.Fatalf("hint-cache soak failed to converge:\n%v", rep.Violations)
+	}
+}

@@ -1,0 +1,193 @@
+package dsm
+
+import (
+	"slices"
+
+	"bmx/internal/addr"
+	"bmx/internal/transport"
+)
+
+// This file holds the remote-acquire fast paths, both off by default so the
+// baseline protocol stays byte-for-byte what it always was:
+//
+//   - Per-destination coalescing of invariant-2 location updates
+//     (SetCoalesceLoc): forwardManifests queues LocMsg entries into a
+//     per-node outbox instead of sending one KindLocUpdate per copy-set
+//     member per object, and the bracket that triggered the forwarding
+//     (an acquire, or the service of an incoming locUpdate/locBatch)
+//     flushes the outbox on exit as one KindLocBatch per destination.
+//     Receivers apply the batched entries in order, so per-pair FIFO — the
+//     ordering §6.1's scion cleaner relies on — is preserved exactly, and
+//     the final protocol state is byte-identical to per-message sends.
+//
+//   - An ownerPtr hint cache (EnableHintCache): the grant reply path
+//     teaches nodes along a read chain who granted, recent requesters keep
+//     the granter across a local reclaim, and fresh protocol state prefers
+//     the cached hint over the directory's owner hint — shortcutting
+//     future chains. Hints are advisory: a stale one is just a stale
+//     ownerPtr, which the routing machinery (Via-based cycle avoidance,
+//     route-around, the maxHops backstop and ErrNoOwner reestablishment)
+//     already tolerates. Entries are invalidated whenever a location
+//     update for the object arrives, and the cache is FIFO-bounded.
+
+// KindLocBatch carries a coalesced batch of location updates: every
+// KindLocUpdate one node owes another at a flush boundary, merged across
+// objects into a single message.
+const KindLocBatch = "dsm.locBatch"
+
+// LocBatchMsg is the payload of a KindLocBatch message. Entries are in
+// queue order; applying them in order is equivalent to receiving the
+// individual LocMsg messages in that order.
+type LocBatchMsg struct {
+	From    addr.NodeID
+	Entries []LocMsg
+}
+
+// locBatch accumulates one destination's pending location updates between
+// flushes, with the piggyback byte accounting precomputed at queue time.
+type locBatch struct {
+	entries []LocMsg
+	pb      int
+}
+
+// hintCap bounds the hint cache; FIFO eviction keeps it deterministic.
+const hintCap = 256
+
+// SetCoalesceLoc switches per-destination location-update coalescing on or
+// off. Call before traffic; all nodes of a cluster must agree (a receiver
+// understands both wire shapes, but mixing defeats the A/B accounting).
+func (n *Node) SetCoalesceLoc(on bool) {
+	n.coalesceLoc = on
+	if on && n.outbox == nil {
+		n.outbox = make(map[addr.NodeID]*locBatch)
+	}
+}
+
+// EnableHintCache switches the ownerPtr hint cache on.
+func (n *Node) EnableHintCache() {
+	if n.hints == nil {
+		n.hints = make(map[addr.OID]addr.NodeID)
+	}
+	n.hintsOn = true
+}
+
+// noteHint records that `who` last granted (or took) o's token — the best
+// current guess at where o's owner chain starts.
+func (n *Node) noteHint(o addr.OID, who addr.NodeID) {
+	if !n.hintsOn || who == addr.NoNode || who == n.id {
+		return
+	}
+	if _, ok := n.hints[o]; !ok {
+		if len(n.hintOrder) >= hintCap {
+			drop := n.hintOrder[0]
+			n.hintOrder = n.hintOrder[1:]
+			delete(n.hints, drop)
+			n.stats().Add("dsm.route.hintEvicted", 1)
+		}
+		n.hintOrder = append(n.hintOrder, o)
+	}
+	n.hints[o] = who
+}
+
+// cachedHint consults the hint cache, counting hits and misses.
+func (n *Node) cachedHint(o addr.OID) (addr.NodeID, bool) {
+	if !n.hintsOn {
+		return addr.NoNode, false
+	}
+	if h, ok := n.hints[o]; ok {
+		n.stats().Add("dsm.route.hintHit", 1)
+		return h, true
+	}
+	n.stats().Add("dsm.route.hintMiss", 1)
+	return addr.NoNode, false
+}
+
+// dropHints invalidates the cached hint of every object a just-applied
+// manifest batch names: a location update means the object's placement
+// changed, so the cached granter may no longer be on its chain.
+func (n *Node) dropHints(ms []Manifest) {
+	if !n.hintsOn || len(ms) == 0 {
+		return
+	}
+	for _, m := range ms {
+		if _, ok := n.hints[m.OID]; ok {
+			delete(n.hints, m.OID)
+			for i, o := range n.hintOrder {
+				if o == m.OID {
+					n.hintOrder = append(n.hintOrder[:i], n.hintOrder[i+1:]...)
+					break
+				}
+			}
+			n.stats().Add("dsm.route.hintInvalidated", 1)
+		}
+	}
+}
+
+// queueLocUpdate appends one copy-set member's location update to the
+// per-destination outbox (coalescing path of forwardManifests).
+func (n *Node) queueLocUpdate(dst addr.NodeID, lm LocMsg, pb int) {
+	b, ok := n.outbox[dst]
+	if !ok {
+		b = &locBatch{}
+		n.outbox[dst] = b
+		n.outboxOrder = append(n.outboxOrder, dst)
+	}
+	b.entries = append(b.entries, lm)
+	b.pb += pb
+}
+
+// flushLocOutbox sends every destination's accumulated location updates as
+// one KindLocBatch message and empties the outbox. Called at bracket exit:
+// the end of an Acquire, or the end of serving an incoming location
+// update. Destinations flush in first-touch order — deterministic, since
+// queueing iterates sorted copy-sets.
+func (n *Node) flushLocOutbox(class transport.Class) {
+	if !n.coalesceLoc || len(n.outboxOrder) == 0 {
+		return
+	}
+	for _, dst := range n.outboxOrder {
+		b := n.outbox[dst]
+		delete(n.outbox, dst)
+		// Wire accounting mirrors the uncoalesced shape: each entry costs
+		// its 8-byte LocMsg header plus its manifests, under one 8-byte
+		// batch header — so coalescing saves (entries-1) messages and their
+		// headers, never hides payload bytes.
+		bytes := 8
+		for _, e := range b.entries {
+			epb := 0
+			for _, m := range e.Manifests {
+				epb += m.WireBytes()
+			}
+			bytes += 8 + epb
+		}
+		n.net.Send(transport.Msg{
+			From: n.id, To: dst, Kind: KindLocBatch, Class: class,
+			Payload: LocBatchMsg{From: n.id, Entries: b.entries},
+			Bytes:   bytes, Piggyback: b.pb,
+		})
+		n.stats().Add("dsm.locUpdate.batches", 1)
+		n.stats().Add("dsm.locUpdate.batched", int64(len(b.entries)))
+	}
+	n.outboxOrder = n.outboxOrder[:0]
+}
+
+// takeSorted fills the node's reusable scratch buffer with the set's
+// members, sorted — the allocation-free variant of sortedNodes for the hot
+// send paths (invalidate and locUpdate fan-out). The returned put func
+// hands the buffer back. Take-and-clear, not plain reuse: the node lock is
+// released around outbound synchronous calls, so a re-entrant handler on
+// this node can reach another fan-out while the outer one still iterates —
+// it finds the field nil and allocates fresh instead of clobbering.
+func (n *Node) takeSorted(set map[addr.NodeID]bool) ([]addr.NodeID, func()) {
+	buf := n.scratch
+	n.scratch = nil
+	if buf == nil {
+		buf = make([]addr.NodeID, 0, 8)
+	}
+	buf = buf[:0]
+	for id := range set {
+		buf = append(buf, id)
+	}
+	slices.Sort(buf)
+	return buf, func() { n.scratch = buf }
+}

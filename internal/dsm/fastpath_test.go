@@ -1,0 +1,242 @@
+package dsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bmx/internal/addr"
+	"bmx/internal/simnet"
+	"bmx/internal/transport"
+)
+
+// buildCopySetEnv drives the same deterministic location-update scenario
+// with coalescing on or off: N1 holds distributed copy-sets {N2, N3} for
+// two objects, the owner N0 moves a third object both reference, and the
+// updates fan down the copy-sets — per-message or batched.
+func buildCopySetEnv(t *testing.T, coalesce bool) *fakeEnv {
+	t.Helper()
+	env := newFakeEnv(t, 4)
+	if coalesce {
+		for _, nd := range env.nodes {
+			nd.SetCoalesceLoc(true)
+		}
+	}
+	env.newObj(1, 1, 0)
+	env.newObj(2, 1, 0)
+	env.newObj(3, 1, 0)
+	env.refs[1] = []addr.OID{3}
+	env.refs[2] = []addr.OID{3}
+	// N1 reads both objects from the owner; N2 and N3 read from N1, so
+	// N1's copy-set for each object is {N2, N3}.
+	env.nodes[1].Acquire(1, ModeRead, simnet.ClassApp)
+	env.nodes[1].Acquire(2, ModeRead, simnet.ClassApp)
+	for _, id := range []addr.NodeID{2, 3} {
+		env.nodes[id].Learn(1, 1, 1)
+		env.nodes[id].Learn(2, 1, 1)
+		env.nodes[id].Acquire(1, ModeRead, simnet.ClassApp)
+		env.nodes[id].Acquire(2, ModeRead, simnet.ClassApp)
+	}
+	// The owner moves O3 (a BGC move); N1 re-acquires O1 and O2, receives
+	// the O3 manifest in each grant, and must push it down both copy-sets.
+	env.hooks[0].addrs[3] = 0x9999
+	env.nodes[1].objs[1].Mode = ModeInvalid
+	env.nodes[1].objs[2].Mode = ModeInvalid
+	env.nodes[1].Acquire(1, ModeRead, simnet.ClassApp)
+	env.nodes[1].Acquire(2, ModeRead, simnet.ClassApp)
+	env.net.Run(0)
+	// A batch arriving with entries for two objects re-forwards merged per
+	// destination across objects (one message to N2, one to N3 — not four).
+	env.hooks[0].addrs[3] = 0xABCD
+	m3 := Manifest{OID: 3, Addr: 0xABCD, Size: env.sizeOf[3], Bunch: 1}
+	env.net.Send(transport.Msg{
+		From: 0, To: 1, Kind: KindLocBatch, Class: simnet.ClassApp,
+		Payload: LocBatchMsg{From: 0, Entries: []LocMsg{
+			{O: 1, From: 0, Manifests: []Manifest{m3}},
+			{O: 2, From: 0, Manifests: []Manifest{m3}},
+		}},
+		Bytes: 8,
+	})
+	env.net.Run(0)
+	return env
+}
+
+// TestCoalescedLocUpdatesEquivalent pins the coalescing contract: batched
+// location updates leave the final ownerPtr/copy-set/mode/entering state —
+// and the applied addresses — byte-identical to per-message sends, while
+// sending strictly fewer messages.
+func TestCoalescedLocUpdatesEquivalent(t *testing.T) {
+	plain := buildCopySetEnv(t, false)
+	coal := buildCopySetEnv(t, true)
+
+	if coal.net.Stats().Get("dsm.locUpdate.batches") == 0 {
+		t.Fatal("coalesced run sent no batches; the scenario lost its teeth")
+	}
+	pm, cm := plain.net.Stats().Get("msg.sent.app"), coal.net.Stats().Get("msg.sent.app")
+	if cm >= pm {
+		t.Fatalf("coalesced run sent %d messages, plain %d; coalescing must save messages", cm, pm)
+	}
+
+	for i := 0; i < 4; i++ {
+		id := addr.NodeID(i)
+		p, c := plain.nodes[id], coal.nodes[id]
+		for o := addr.OID(1); o <= 3; o++ {
+			if p.IsOwner(o) != c.IsOwner(o) || p.ModeOf(o) != c.ModeOf(o) ||
+				p.OwnerPtrOf(o) != c.OwnerPtrOf(o) {
+				t.Fatalf("N%d %v: owner/mode/ptr diverged: plain (%v %v %v) coalesced (%v %v %v)",
+					i+1, o, p.IsOwner(o), p.ModeOf(o), p.OwnerPtrOf(o),
+					c.IsOwner(o), c.ModeOf(o), c.OwnerPtrOf(o))
+			}
+			if fmt.Sprint(p.CopySetOf(o)) != fmt.Sprint(c.CopySetOf(o)) {
+				t.Fatalf("N%d %v copy-set diverged: %v vs %v", i+1, o, p.CopySetOf(o), c.CopySetOf(o))
+			}
+			if fmt.Sprint(p.EnteringOf(o)) != fmt.Sprint(c.EnteringOf(o)) {
+				t.Fatalf("N%d %v entering diverged: %v vs %v", i+1, o, p.EnteringOf(o), c.EnteringOf(o))
+			}
+			if plain.hooks[id].addrs[o] != coal.hooks[id].addrs[o] {
+				t.Fatalf("N%d %v address diverged: %#x vs %#x",
+					i+1, o, plain.hooks[id].addrs[o], coal.hooks[id].addrs[o])
+			}
+		}
+		// Invariant 2 reached the leaves either way.
+		if i >= 2 && coal.hooks[id].addrs[3] != 0xABCD {
+			t.Fatalf("N%d: O3 address = %#x, want the batched update applied", i+1, coal.hooks[id].addrs[3])
+		}
+	}
+}
+
+// TestCoalescedRandomSoakInvariants re-runs the token-conservation property
+// soak with coalescing on: whatever the schedule, batching must never break
+// single-owner / single-writer / writer-excludes-readers.
+func TestCoalescedRandomSoakInvariants(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		env := newFakeEnv(t, 4)
+		for _, nd := range env.nodes {
+			nd.SetCoalesceLoc(true)
+		}
+		env.newObj(1, 1, 0)
+		env.newObj(2, 1, 1)
+		env.refs[1] = []addr.OID{2}
+		rng := rand.New(rand.NewSource(seed))
+		for step := 0; step < 150; step++ {
+			node := env.nodes[addr.NodeID(rng.Intn(4))]
+			o := addr.OID(1 + rng.Intn(2))
+			mode := ModeRead
+			if rng.Intn(2) == 0 {
+				mode = ModeWrite
+			}
+			if err := node.Acquire(o, mode, simnet.ClassApp); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			env.net.Run(0)
+			checkTokenInvariants(t, env, o, fmt.Sprintf("coalesced seed %d step %d", seed, step))
+		}
+	}
+}
+
+func TestHintCacheShortcutsReacquire(t *testing.T) {
+	env := newFakeEnv(t, 3)
+	env.nodes[2].EnableHintCache()
+	env.newObj(1, 1, 0)
+	// Ownership moves to N2; the fake directory hint keeps naming the
+	// allocation site N1, so every fresh chain from N3 starts stale.
+	env.nodes[1].Acquire(1, ModeWrite, simnet.ClassApp)
+	if err := env.nodes[2].Acquire(1, ModeRead, simnet.ClassApp); err != nil {
+		t.Fatal(err)
+	}
+	forwards := env.net.Stats().Get("dsm.forwards")
+	if forwards == 0 {
+		t.Fatal("first chain should have forwarded through the stale hint")
+	}
+	// The replica is reclaimed; without the cache the next chain would
+	// start at the stale directory hint and forward again.
+	env.nodes[2].Forget(1)
+	if err := env.nodes[2].Acquire(1, ModeRead, simnet.ClassApp); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.net.Stats().Get("dsm.forwards"); got != forwards {
+		t.Fatalf("forwards rose %d -> %d; the cached granter should have shortcut the chain", forwards, got)
+	}
+	if env.net.Stats().Get("dsm.route.hintHit") == 0 {
+		t.Fatal("hint hit not counted")
+	}
+}
+
+func TestHintInvalidatedByLocUpdate(t *testing.T) {
+	env := newFakeEnv(t, 3)
+	env.nodes[2].EnableHintCache()
+	env.newObj(1, 1, 0)
+	env.nodes[1].Acquire(1, ModeWrite, simnet.ClassApp)
+	env.nodes[2].Acquire(1, ModeRead, simnet.ClassApp) // caches granter N2
+	// A location update naming O1 lands at N3: the placement of the object
+	// changed, so the cached hint must die with it.
+	env.net.Send(transport.Msg{
+		From: 0, To: 2, Kind: KindLocUpdate, Class: simnet.ClassApp,
+		Payload: LocMsg{O: 1, From: 0, Manifests: []Manifest{{OID: 1, Addr: 0x7777, Bunch: 1}}},
+		Bytes:   16,
+	})
+	env.net.Run(0)
+	if env.net.Stats().Get("dsm.route.hintInvalidated") == 0 {
+		t.Fatal("locUpdate did not invalidate the cached hint")
+	}
+	if _, ok := env.nodes[2].hints[1]; ok {
+		t.Fatal("hint entry survived its invalidation")
+	}
+}
+
+func TestHintCacheFIFOBounded(t *testing.T) {
+	env := newFakeEnv(t, 2)
+	n := env.nodes[0]
+	n.EnableHintCache()
+	for i := 0; i < hintCap+10; i++ {
+		n.noteHint(addr.OID(1000+i), 1)
+	}
+	if len(n.hints) != hintCap || len(n.hintOrder) != hintCap {
+		t.Fatalf("cache size = %d/%d, want bounded at %d", len(n.hints), len(n.hintOrder), hintCap)
+	}
+	if _, ok := n.hints[1000]; ok {
+		t.Fatal("oldest entry must be FIFO-evicted")
+	}
+	if _, ok := n.hints[addr.OID(1000+hintCap+9)]; !ok {
+		t.Fatal("newest entry missing")
+	}
+	if got := env.net.Stats().Get("dsm.route.hintEvicted"); got != 10 {
+		t.Fatalf("evictions = %d, want 10", got)
+	}
+}
+
+func TestHintCacheOffIsInert(t *testing.T) {
+	env := newFakeEnv(t, 3)
+	env.newObj(1, 1, 0)
+	env.nodes[1].Acquire(1, ModeWrite, simnet.ClassApp)
+	env.nodes[2].Acquire(1, ModeRead, simnet.ClassApp)
+	st := env.net.Stats()
+	for _, k := range []string{"dsm.route.hintHit", "dsm.route.hintMiss", "dsm.route.hintInvalidated"} {
+		if st.Get(k) != 0 {
+			t.Fatalf("%s = %d with the cache disabled", k, st.Get(k))
+		}
+	}
+}
+
+func TestTakeSortedScratchReuse(t *testing.T) {
+	env := newFakeEnv(t, 1)
+	n := env.nodes[0]
+	set := map[addr.NodeID]bool{3: true, 1: true, 2: true}
+	buf1, put1 := n.takeSorted(set)
+	if len(buf1) != 3 || buf1[0] != 1 || buf1[1] != 2 || buf1[2] != 3 {
+		t.Fatalf("sorted = %v", buf1)
+	}
+	// A nested take (re-entrant handler during an outbound call) must get
+	// its own buffer, not clobber the outer iteration.
+	buf2, put2 := n.takeSorted(set)
+	if &buf1[0] == &buf2[0] {
+		t.Fatal("nested takeSorted reused the outer buffer")
+	}
+	put2()
+	put1()
+	buf3, put3 := n.takeSorted(set)
+	put3()
+	if len(buf3) != 3 || buf3[0] != 1 || buf3[2] != 3 {
+		t.Fatalf("reused buffer sorted = %v", buf3)
+	}
+}

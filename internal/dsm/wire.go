@@ -17,5 +17,6 @@ func init() {
 	gob.Register(acquireReply{})
 	gob.Register(invalidateReq{})
 	gob.Register(LocMsg{})
+	gob.Register(LocBatchMsg{})
 	transport.RegisterWireError("dsm.noOwner", ErrNoOwner)
 }

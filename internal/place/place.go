@@ -1,0 +1,166 @@
+// Package place is the placement engine that cashes in the heat table's
+// migration advice (the ROADMAP's locality item): at each Cluster.Run drain
+// boundary it consumes the merged heat rows, selects the dominant-writer ≠
+// owner objects whose observed cost (wasted ownerPtr hops) clears a
+// threshold, and plans proactive write-ownership pushes toward the dominant
+// writer. The cluster layer executes each planned migration through the
+// ordinary acquire machinery under transport.ClassPlace, so a migration is
+// indistinguishable from a write acquire at the protocol level — invariants
+// 1 and 2, copy-set invalidation and manifest forwarding all apply
+// unchanged — while its traffic lands in its own accounting bucket, never
+// on the application's critical path and never in the collector's §5
+// zero-message probes.
+//
+// Two governors keep the engine from thrashing:
+//
+//   - Budget bounds migrations per round, so a pathological access pattern
+//     costs at most Budget ownership transfers per drain.
+//   - Cooldown is per-object hysteresis keyed to the heat table's `recent`
+//     decay epochs: once the engine moves an object it will not move it
+//     again for Cooldown epochs, so two writers alternating within a window
+//     shorter than the cooldown cannot ping-pong the token through the
+//     engine (they can still acquire it from each other directly — the
+//     engine only refuses to amplify the oscillation).
+//
+// The engine itself is pure bookkeeping: Plan takes rows and the current
+// decay epoch and returns migrations; it performs no I/O and takes no
+// locks, so it is deterministic for a given input and trivially testable.
+// Selection reuses heat.Analyze — the same ranking and the same
+// heat.MoreDominant tie-break that produce the operator-facing advice — so
+// advice and action can never disagree.
+package place
+
+import (
+	"bmx/internal/obs/heat"
+)
+
+// Config parametrizes the engine. The zero Config is usable: withDefaults
+// fills each field with a conservative default.
+type Config struct {
+	// Budget is the maximum number of migrations planned per round.
+	// Default 2.
+	Budget int
+	// MinWastedHops is the advice admission threshold: a mismatch whose
+	// observed wasted owner-chain hops are below it is not worth an
+	// ownership transfer yet. Default 1.
+	MinWastedHops uint64
+	// Cooldown is the per-object hysteresis, in heat decay epochs: an
+	// object the engine migrated rests at least this many epochs before it
+	// is eligible again. Default 4 (the `recent` column halves per epoch,
+	// so four epochs retire ~94% of the activity that justified the move).
+	Cooldown uint64
+	// MinRecent is the dominant writer's decayed-activity floor: advice
+	// whose target node shows less recent heat than this on the object is
+	// stale (the writer has gone quiet) and is skipped. Default 1.
+	MinRecent uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 2
+	}
+	if c.MinWastedHops == 0 {
+		c.MinWastedHops = 1
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 4
+	}
+	if c.MinRecent == 0 {
+		c.MinRecent = 1
+	}
+	return c
+}
+
+// Migration is one planned ownership push: move write ownership of OID from
+// its current owner to the dominant writer To.
+type Migration struct {
+	OID        uint64
+	Bunch      uint32
+	From       int32 // current owner per the heat rows
+	To         int32 // dominant writer; the node that will acquire
+	WastedHops uint64
+}
+
+// Engine holds the placement policy and its hysteresis state. Not
+// internally locked: the cluster drives it from the Run boundary only.
+type Engine struct {
+	cfg   Config
+	count func(name string, delta int64)
+	// moved records, per OID, the epoch at which the engine last planned a
+	// migration of that object — the cooldown clock. Entries are recorded
+	// at plan time, not execution time: a planned-but-failed migration
+	// burns its cooldown too, which is exactly the hysteresis we want (the
+	// engine should not hammer an unreachable owner every round).
+	moved map[uint64]uint64
+}
+
+// New builds an engine; zero-value cfg fields take defaults.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), moved: make(map[uint64]uint64)}
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SetCounter installs the stats sink for the place.* planning counters
+// (place.rounds, place.planned, place.skip.*). Nil disables counting.
+func (e *Engine) SetCounter(f func(name string, delta int64)) { e.count = f }
+
+func (e *Engine) add(name string, d int64) {
+	if e.count != nil {
+		e.count(name, d)
+	}
+}
+
+// Plan consumes one round's merged heat rows at decay epoch `epoch` and
+// returns at most Budget migrations, worst mismatch first. The candidate
+// list is heat.Analyze's Mismatches — already ranked by wasted hops, then
+// dominant writes, then OID — filtered by threshold, cooldown and
+// recent-activity floor. Deterministic for a given (rows, epoch, prior
+// plans) history.
+func (e *Engine) Plan(rows []heat.Row, epoch uint64) []Migration {
+	e.add("place.rounds", 1)
+	rep := heat.Analyze(rows)
+	if len(rep.Mismatches) == 0 {
+		return nil
+	}
+	// recent[(oid,node)] lets the staleness filter ask how much decayed
+	// activity the advice's target still shows on the object.
+	type on struct {
+		oid  uint64
+		node int32
+	}
+	recent := make(map[on]uint64, len(rows))
+	for _, r := range rows {
+		if r.Recent != 0 {
+			recent[on{r.OID, r.Node}] += r.Recent
+		}
+	}
+	var plan []Migration
+	for _, m := range rep.Mismatches {
+		if len(plan) >= e.cfg.Budget {
+			e.add("place.skip.budget", int64(len(rep.Mismatches)-len(plan)))
+			break
+		}
+		if m.WastedHops < e.cfg.MinWastedHops {
+			// Ranked worst-first, so everything after this is colder still.
+			e.add("place.skip.cold", 1)
+			break
+		}
+		if last, ok := e.moved[m.OID]; ok && epoch-last < e.cfg.Cooldown {
+			e.add("place.skip.cooldown", 1)
+			continue
+		}
+		if recent[on{m.OID, m.Dominant}] < e.cfg.MinRecent {
+			e.add("place.skip.idle", 1)
+			continue
+		}
+		e.moved[m.OID] = epoch
+		plan = append(plan, Migration{
+			OID: m.OID, Bunch: m.Bunch, From: m.Owner, To: m.Dominant,
+			WastedHops: m.WastedHops,
+		})
+	}
+	e.add("place.planned", int64(len(plan)))
+	return plan
+}

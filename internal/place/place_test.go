@@ -1,0 +1,148 @@
+package place
+
+import (
+	"testing"
+
+	"bmx/internal/obs/heat"
+)
+
+func owner(n int32) *int32 { return &n }
+
+// row builds a heat row with the given write count and activity.
+func row(oid uint64, node int32, writes, hops, recent uint64, own *int32) heat.Row {
+	r := heat.Row{
+		Heat: 1, OID: oid, Node: node,
+		Writes: writes, Acquires: writes, Recent: recent, Hops: hops,
+	}
+	if writes > 0 {
+		r.Reads = writes
+	}
+	if own != nil {
+		r.Owner, r.OwnerTick = own, 1
+	}
+	return r
+}
+
+func TestPlanPicksDominantWriterMismatch(t *testing.T) {
+	e := New(Config{})
+	rows := []heat.Row{
+		// Object 1: owned by node 0, written mostly by node 2 — migrate.
+		row(1, 0, 1, 0, 1, owner(0)),
+		row(1, 2, 10, 20, 8, owner(0)),
+		// Object 2: owned by its dominant writer — leave alone.
+		row(2, 1, 10, 0, 8, owner(1)),
+	}
+	plan := e.Plan(rows, 1)
+	if len(plan) != 1 {
+		t.Fatalf("plan = %+v, want exactly the object-1 migration", plan)
+	}
+	m := plan[0]
+	if m.OID != 1 || m.From != 0 || m.To != 2 {
+		t.Fatalf("migration = %+v, want OID 1 from 0 to 2", m)
+	}
+}
+
+func TestPlanRespectsBudgetWorstFirst(t *testing.T) {
+	e := New(Config{Budget: 1})
+	rows := []heat.Row{
+		row(1, 0, 1, 0, 1, owner(0)), row(1, 2, 5, 5, 5, owner(0)),
+		row(2, 0, 1, 0, 1, owner(0)), row(2, 1, 5, 50, 5, owner(0)),
+	}
+	plan := e.Plan(rows, 1)
+	if len(plan) != 1 || plan[0].OID != 2 {
+		t.Fatalf("plan = %+v, want only the worst mismatch (OID 2, 50 wasted hops)", plan)
+	}
+}
+
+func TestPlanThresholdSkipsColdAdvice(t *testing.T) {
+	e := New(Config{MinWastedHops: 10})
+	rows := []heat.Row{
+		row(1, 0, 1, 0, 1, owner(0)), row(1, 2, 5, 4, 5, owner(0)),
+	}
+	if plan := e.Plan(rows, 1); len(plan) != 0 {
+		t.Fatalf("plan = %+v, want none below the wasted-hops threshold", plan)
+	}
+}
+
+func TestPlanSkipsIdleDominantWriter(t *testing.T) {
+	e := New(Config{MinRecent: 4})
+	rows := []heat.Row{
+		row(1, 0, 1, 0, 1, owner(0)),
+		// Dominant writer's activity has decayed below the floor: stale advice.
+		row(1, 2, 10, 20, 2, owner(0)),
+	}
+	if plan := e.Plan(rows, 1); len(plan) != 0 {
+		t.Fatalf("plan = %+v, want none for an idle dominant writer", plan)
+	}
+}
+
+func TestCooldownHysteresis(t *testing.T) {
+	e := New(Config{Cooldown: 3})
+	mismatch := func(owner32, dom int32) []heat.Row {
+		return []heat.Row{
+			row(7, owner32, 1, 0, 1, owner(owner32)),
+			row(7, dom, 10, 10, 8, owner(owner32)),
+		}
+	}
+	if plan := e.Plan(mismatch(0, 1), 10); len(plan) != 1 {
+		t.Fatalf("epoch 10: plan = %+v, want the migration", plan)
+	}
+	// Same mismatch (as if the migration failed or reversed): suppressed
+	// until the cooldown expires.
+	for epoch := uint64(11); epoch < 13; epoch++ {
+		if plan := e.Plan(mismatch(1, 0), epoch); len(plan) != 0 {
+			t.Fatalf("epoch %d: plan = %+v, want cooldown suppression", epoch, plan)
+		}
+	}
+	if plan := e.Plan(mismatch(1, 0), 13); len(plan) != 1 {
+		t.Fatalf("epoch 13: plan = %+v, want eligibility back after cooldown", plan)
+	}
+}
+
+// TestAntiPingPongBounded is the anti-ping-pong property: two writers
+// alternating dominance every epoch trigger at most one migration per
+// cooldown window, not one per epoch.
+func TestAntiPingPongBounded(t *testing.T) {
+	const cooldown, epochs = 4, 40
+	e := New(Config{Cooldown: cooldown})
+	total := 0
+	for epoch := uint64(1); epoch <= epochs; epoch++ {
+		// The "other" node out-writes the current owner each epoch — the
+		// worst case for a naive engine, which would bounce the token every
+		// round.
+		a, b := int32(epoch%2), int32(1-epoch%2)
+		rows := []heat.Row{
+			row(3, a, 2, 1, 2, owner(a)),
+			row(3, b, 10, 10, 8, owner(a)),
+		}
+		total += len(e.Plan(rows, epoch))
+	}
+	if max := epochs/cooldown + 1; total > max {
+		t.Fatalf("alternating writers caused %d migrations over %d epochs, want <= %d (cooldown %d)",
+			total, epochs, max, cooldown)
+	}
+	if total == 0 {
+		t.Fatal("engine never migrated at all; hysteresis should bound, not block")
+	}
+}
+
+func TestCountersFlow(t *testing.T) {
+	got := map[string]int64{}
+	e := New(Config{Budget: 1})
+	e.SetCounter(func(name string, d int64) { got[name] += d })
+	rows := []heat.Row{
+		row(1, 0, 1, 0, 1, owner(0)), row(1, 2, 5, 5, 5, owner(0)),
+		row(2, 0, 1, 0, 1, owner(0)), row(2, 1, 5, 50, 5, owner(0)),
+	}
+	e.Plan(rows, 1)
+	if got["place.rounds"] != 1 || got["place.planned"] != 1 || got["place.skip.budget"] != 1 {
+		t.Fatalf("counters = %v, want rounds=1 planned=1 skip.budget=1", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := New(Config{}).Config()
+	if cfg.Budget != 2 || cfg.MinWastedHops != 1 || cfg.Cooldown != 4 || cfg.MinRecent != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
